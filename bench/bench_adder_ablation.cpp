@@ -1,0 +1,65 @@
+// Architecture ablation: the EX-stage adder topology.
+//
+// The ripple-carry adder's activated delay is linear in the operand
+// carry-chain length — the core source of operand-dependent dynamic slack
+// in this reproduction.  A carry-select adder (4-bit sections) compresses
+// that spread: both assumptions per section are precomputed and the
+// incoming carry only steers muxes.  This bench quantifies the effect on
+// (a) static timing, (b) the trained datapath model's chain-length
+// sensitivity, and (c) per-benchmark error rates at a fixed clock — the
+// "timing speculation rewards operand-dependent datapaths" design point.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "dta/datapath_model.hpp"
+#include "timing/sta.hpp"
+#include "timing/variation.hpp"
+
+using namespace terrors;
+
+int main(int argc, char** argv) {
+  const auto rs = bench::parse_scale(argc, argv);
+
+  struct Variant {
+    const char* name;
+    netlist::AdderKind kind;
+  };
+  const Variant variants[] = {{"ripple-carry", netlist::AdderKind::kRipple},
+                              {"carry-select/4", netlist::AdderKind::kCarrySelect}};
+
+  std::printf("EX-adder architecture ablation (clock %.1f MHz)\n\n",
+              bench::working_spec().frequency_mhz());
+
+  for (const auto& v : variants) {
+    netlist::PipelineConfig pcfg;
+    pcfg.ex_adder = v.kind;
+    const netlist::Pipeline pipe = netlist::build_pipeline(pcfg);
+    const timing::Sta sta(pipe.netlist);
+    const timing::VariationModel vm(pipe.netlist, {});
+    const auto model = dta::DatapathModel::train(pipe, vm);
+
+    std::printf("%s: %zu gates, static fmax %.1f MHz, adder model %.0f + %.1f*L ps\n",
+                v.name, pipe.netlist.stats().gates, sta.max_frequency_mhz(),
+                model.adder_mean().base, model.adder_mean().per_unit);
+
+    auto cfg = bench::default_config();
+    cfg.execution_scale = 1.0 / rs.scale;
+    core::ErrorRateFramework framework(pipe, cfg);
+    std::printf("  %-14s %12s %12s\n", "benchmark", "rate %", "SD %");
+    for (std::size_t i : {3u, 0u, 11u}) {  // patricia, basicmath, gsm.decode
+      const auto& spec = workloads::mibench_specs()[i];
+      const isa::Program program = workloads::generate_program(spec);
+      framework.set_executor_config(workloads::executor_config_for(spec, rs.runs, rs.scale));
+      const auto r =
+          framework.analyze(program, workloads::generate_inputs(spec, rs.runs, 2026));
+      std::printf("  %-14s %12.4f %12.4f\n", spec.name.c_str(),
+                  100.0 * r.estimate.rate_mean(), 100.0 * r.estimate.rate_sd());
+    }
+    std::printf("\n");
+  }
+  std::printf("The carry-select variant flattens the chain-length sensitivity\n"
+              "(smaller per-L slope) and raises static fmax; at the same absolute\n"
+              "clock its error rates collapse, i.e. the speculation headroom that\n"
+              "the estimator prices comes from the operand-dependent adder.\n");
+  return 0;
+}

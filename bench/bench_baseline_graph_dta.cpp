@@ -1,0 +1,121 @@
+// Baseline comparison (paper Section 2, "Graph-Based DTA"): the
+// Cherupalli-style graph-based N-worst analysis finds a *safe, error-free*
+// operating point for an application's observed activity, while the
+// paper's framework prices timing errors and can run *faster* than the
+// error-free point as long as the correction penalty is amortised.
+//
+// For each benchmark this bench
+//   1. replays a dynamic instruction window on the gate-level pipeline and
+//      aggregates activated arrivals with GraphDta,
+//   2. reports the baseline's error-free frequency (with the ISCA'16-style
+//      margin), and
+//   3. reports the speculative working point's frequency and its *net*
+//      performance after paying for the errors our framework estimates —
+//      quantifying when timing speculation beats the error-free policy.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "dta/graph_dta.hpp"
+#include "dta/pipeline_driver.hpp"
+#include "perf/ts_model.hpp"
+#include "timing/sta.hpp"
+
+using namespace terrors;
+
+namespace {
+
+/// Reconstruct a representative fetch stream from the profile's sampled
+/// contexts along the first recorded block trace.
+std::vector<dta::FetchSlot> slots_from_trace(const isa::Program& program,
+                                             const isa::ProgramProfile& profile,
+                                             std::size_t max_slots) {
+  std::vector<dta::FetchSlot> slots;
+  for (int i = 0; i < 6; ++i) slots.push_back(dta::FetchSlot::nop(4u * static_cast<std::uint32_t>(i)));
+  if (profile.block_traces.empty()) return slots;
+  for (const auto& step : profile.block_traces[0]) {
+    const auto& bp = profile.blocks[step.block];
+    const isa::BlockSample* sample = nullptr;
+    if (step.incoming_edge < 0) {
+      if (!bp.entry_samples.samples.empty()) sample = &bp.entry_samples.samples.front();
+    } else if (static_cast<std::size_t>(step.incoming_edge) < bp.edge_samples.size()) {
+      const auto& es = bp.edge_samples[static_cast<std::size_t>(step.incoming_edge)];
+      if (!es.samples.empty()) sample = &es.samples.front();
+    }
+    if (sample == nullptr) continue;
+    const auto& instrs = program.block(step.block).instructions;
+    for (std::size_t k = 0; k < sample->instrs.size() && k < instrs.size(); ++k) {
+      slots.push_back(dta::FetchSlot::from_context(instrs[k], sample->instrs[k]));
+      if (slots.size() >= max_slots) return slots;
+    }
+  }
+  return slots;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto rs = bench::parse_scale(argc, argv);
+  const auto& pipe = bench::pipeline();
+  const timing::Sta sta(pipe.netlist);
+  const double f_signoff = sta.max_frequency_mhz() / 1.10;  // guardbanded STA baseline
+
+  auto cfg = bench::default_config();
+  cfg.execution_scale = 1.0 / rs.scale;
+  cfg.executor.record_block_trace = true;
+  core::ErrorRateFramework framework(bench::pipeline(), cfg);
+  const perf::TsProcessorModel ts;
+  const double f_ts = bench::working_spec().frequency_mhz();
+
+  std::printf("Graph-based DTA baseline vs error-rate framework\n");
+  std::printf("(STA signoff %.1f MHz; TS working point %.1f MHz)\n\n", f_signoff, f_ts);
+  std::printf("%-14s %14s %12s %12s | %12s %12s\n", "Benchmark", "error-free MHz",
+              "EF gain %", "rate@EF %", "TS rate %", "TS net %");
+  bench::hr(88);
+
+  for (const auto& spec : workloads::mibench_specs()) {
+    const isa::Program program = workloads::generate_program(spec);
+    auto ecfg = workloads::executor_config_for(spec, rs.runs, rs.scale);
+    ecfg.record_block_trace = true;
+    framework.set_executor_config(ecfg);
+    const auto r = framework.analyze(program, workloads::generate_inputs(spec, rs.runs, 2026));
+
+    // Baseline: replay a window and aggregate with GraphDta.
+    const auto slots =
+        slots_from_trace(program, framework.last().executor->profile(), 2500);
+    dta::PipelineDriver driver(pipe);
+    auto cycles = driver.run(slots);
+    dta::GraphDta graph(pipe.netlist);
+    for (auto& c : cycles) graph.observe(c);
+    const double f_ef = graph.error_free_frequency_mhz(netlist::kSetupTimePs, 1.03);
+    const double ef_gain = f_ef / f_signoff - 1.0;
+
+    // Framework: net performance at the TS working point.
+    perf::TsProcessorModel model = ts;
+    model.frequency_ratio = f_ts / f_signoff;
+    const double ts_net =
+        model.performance_improvement(std::min(1.0, r.estimate.rate_mean()));
+
+    // Price the "error-free" point with the error-rate framework: a short
+    // observation window misses rare activations, so the baseline's safe
+    // point is not actually safe — the reason the paper insists on
+    // cycle-level *prediction* with process variation.
+    framework.set_spec(timing::TimingSpec::from_frequency_mhz(f_ef));
+    const auto at_ef =
+        framework.analyze(program, workloads::generate_inputs(spec, rs.runs, 2026));
+    framework.set_spec(bench::working_spec());
+
+    std::printf("%-14s %14.1f %+12.2f %12.4f | %12.4f %+12.2f\n", spec.name.c_str(), f_ef,
+                100.0 * ef_gain, 100.0 * at_ef.estimate.rate_mean(),
+                100.0 * r.estimate.rate_mean(), 100.0 * ts_net);
+  }
+  std::printf("\n'EF gain' is the error-free (graph-DTA) frequency uplift over the\n"
+              "guardbanded signoff, derived from a finite observation window.\n"
+              "'rate@EF' prices that point with the error-rate framework: it is\n"
+              "far from error-free, because the window misses rare activations\n"
+              "and ignores process variation — the paper's core argument for\n"
+              "probabilistic cycle-level estimation.  'TS net' is the speculative\n"
+              "uplift at the calibrated working point after the 24-cycle replay\n"
+              "penalty.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 3 of the paper: for every benchmark, the cumulative
+// probability distribution of the program error rate together with its
+// lower and upper bound distributions (Section 6.4), plus the performance
+// improvement corresponding to each error rate (the figure's top axis).
+//
+// Output: one block per benchmark with rows
+//   rate%  lower  estimate  upper  perf%
+// over a grid spanning the estimate's support, suitable for gnuplot.
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "perf/ts_model.hpp"
+
+using namespace terrors;
+
+int main(int argc, char** argv) {
+  const auto rs = bench::parse_scale(argc, argv);
+  auto cfg = bench::default_config();
+  cfg.execution_scale = 1.0 / rs.scale;
+  core::ErrorRateFramework framework(bench::pipeline(), cfg);
+  const perf::TsProcessorModel ts;
+
+  std::printf("Figure 3 — Cumulative Probability Distributions of Program Error Rate\n");
+  std::printf("(working point %.1f MHz; 'lower'/'upper' are the Section 6.4 bound CDFs)\n",
+              bench::working_spec().frequency_mhz());
+
+  for (const auto& spec : workloads::mibench_specs()) {
+    const isa::Program program = workloads::generate_program(spec);
+    framework.set_executor_config(workloads::executor_config_for(spec, rs.runs, rs.scale));
+    const auto inputs = workloads::generate_inputs(spec, rs.runs, 2026);
+    const core::BenchmarkResult r = framework.analyze(program, inputs);
+    const auto& est = r.estimate;
+
+    const double mean = est.rate_mean();
+    const double sd = est.rate_sd();
+    const double lo = std::max(0.0, mean - 5.0 * sd);
+    const double hi = mean + 5.0 * sd;
+
+    std::printf("\n# %s  (mean %.3f%%, sd %.3f%%)\n", spec.name.c_str(), 100.0 * mean,
+                100.0 * sd);
+    std::printf("%10s %10s %10s %10s %10s\n", "rate%", "lower", "cdf", "upper", "perf%");
+    const int points = 21;
+    for (int i = 0; i < points; ++i) {
+      const double rate = lo + (hi - lo) * static_cast<double>(i) / (points - 1);
+      std::printf("%10.4f %10.4f %10.4f %10.4f %+10.2f\n", 100.0 * rate,
+                  est.rate_cdf_lower(rate), est.rate_cdf(rate), est.rate_cdf_upper(rate),
+                  100.0 * ts.performance_improvement(std::min(1.0, rate)));
+    }
+  }
+  return 0;
+}

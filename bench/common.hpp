@@ -1,0 +1,57 @@
+// Shared setup for the reproduction benches: one pipeline instance, the
+// calibrated operating point, and small table-printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/framework.hpp"
+#include "netlist/pipeline.hpp"
+#include "perf/ts_model.hpp"
+#include "timing/sta.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/specs.hpp"
+
+namespace terrors::bench {
+
+/// One shared pipeline elaboration (seeded; ~20k gates).
+inline const netlist::Pipeline& pipeline() {
+  static const netlist::Pipeline p = netlist::build_pipeline({});
+  return p;
+}
+
+/// The calibrated speculative operating point of this synthetic design —
+/// the analogue of the paper's 825 MHz (1.15x) LEON3 point.  Derived by
+/// bench_operating_point: the period at which the 12-benchmark mean error
+/// rate sits in the paper's 0.1–1% band.
+inline timing::TimingSpec working_spec() { return timing::TimingSpec{1300.0}; }
+
+/// Default framework configuration at the working point.
+inline core::FrameworkConfig default_config() {
+  core::FrameworkConfig cfg;
+  cfg.spec = working_spec();
+  return cfg;
+}
+
+/// Default per-benchmark run/scale parameters (overridable via argv).
+struct RunScale {
+  std::size_t runs = 4;
+  double scale = 1e-4;  ///< fraction of Table 2 instruction counts simulated
+};
+
+inline RunScale parse_scale(int argc, char** argv) {
+  RunScale rs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--scale=", 0) == 0) rs.scale = std::stod(a.substr(8));
+    if (a.rfind("--runs=", 0) == 0) rs.runs = static_cast<std::size_t>(std::stoul(a.substr(7)));
+  }
+  return rs;
+}
+
+inline void hr(int width = 110) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace terrors::bench

@@ -1,0 +1,108 @@
+// Custom programs via the SR5 assembler: write a workload as text, analyze
+// it end to end.
+//
+//   $ ./examples/custom_program [file.s]
+//
+// Without an argument, a built-in saturating dot-product kernel (the kind
+// of telecom arithmetic that stresses timing speculation) is assembled,
+// analyzed at several clock frequencies, and compared against a masked
+// (narrow-operand) variant of itself.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/framework.hpp"
+#include "isa/assembler.hpp"
+#include "netlist/pipeline.hpp"
+#include "perf/ts_model.hpp"
+
+using namespace terrors;
+
+namespace {
+
+constexpr const char* kSaturatingKernel = R"(
+    ; saturating dot-product-style kernel: wide one-run operands
+      movi r1, 0          ; i
+      movi r2, 2000       ; bound
+      movi r16, 0         ; pointer
+    loop:
+      ld   r8, r16, 0
+      ori  r8, r8, 0x7FFF ; saturate low bits
+      slli r9, r8, 9
+      or   r8, r8, r9     ; ~24-bit one-run
+      ld   r10, r16, 4
+      add  r11, r10, r8   ; long carry chains
+      st   r11, r16, 8
+      addi r16, r16, 12
+      addi r1, r1, 1
+      bne  r1, r2, loop
+      halt
+)";
+
+constexpr const char* kMaskedKernel = R"(
+    ; the same kernel with operands masked to 12 bits (pointer-style data)
+      movi r1, 0
+      movi r2, 2000
+      movi r16, 0
+      movi r28, 0x0FFF
+    loop:
+      ld   r8, r16, 0
+      and  r8, r8, r28
+      ld   r10, r16, 4
+      and  r10, r10, r28
+      add  r11, r10, r8
+      st   r11, r16, 8
+      addi r16, r16, 12
+      addi r1, r1, 1
+      bne  r1, r2, loop
+      halt
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const netlist::Pipeline pipeline = netlist::build_pipeline({});
+  core::FrameworkConfig config;
+  config.spec = timing::TimingSpec{1300.0};
+  core::ErrorRateFramework framework(pipeline, config);
+  const perf::TsProcessorModel ts;
+
+  if (argc > 1) {
+    std::ifstream f(argv[1]);
+    if (!f) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    const isa::Program p = isa::assemble(buf.str(), argv[1]);
+    const auto r = framework.analyze(p, {isa::ProgramInput{}});
+    std::printf("%s: error rate %.4f %% -> TS perf %+.2f %%\n", argv[1],
+                100.0 * r.estimate.rate_mean(),
+                100.0 * ts.performance_improvement(std::min(1.0, r.estimate.rate_mean())));
+    return 0;
+  }
+
+  struct Variant {
+    const char* name;
+    const char* src;
+  };
+  const Variant variants[] = {{"saturating", kSaturatingKernel}, {"masked-12bit", kMaskedKernel}};
+  std::printf("%-14s %12s %12s %12s\n", "kernel", "period ps", "error rate%", "TS perf%");
+  for (const auto& v : variants) {
+    const isa::Program p = isa::assemble(v.src, v.name);
+    for (double period : {1400.0, 1300.0, 1200.0}) {
+      framework.set_spec(timing::TimingSpec{period});
+      const auto r = framework.analyze(p, {isa::ProgramInput{}, isa::ProgramInput{.registers = {}, .memory_seed = 9}});
+      std::printf("%-14s %12.0f %12.4f %+12.2f\n", v.name, period,
+                  100.0 * r.estimate.rate_mean(),
+                  100.0 * ts.performance_improvement(std::min(1.0, r.estimate.rate_mean())));
+    }
+  }
+  std::printf("\nThe saturating kernel's wide one-run operands activate long carry\n"
+              "chains, so its error rate explodes as the clock tightens; the masked\n"
+              "variant tolerates much more overclocking — per-application analysis\n"
+              "in one screen.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Operating-point explorer: how fast should this chip be clocked?
+//
+//   $ ./examples/operating_point_explorer [benchmark-name]
+//
+// Sweeps the clock frequency of the timing-speculative processor for one
+// workload and reports, per point, the estimated error rate and the net
+// performance against the non-speculative baseline — then names the
+// speedup-optimal frequency.  This is the per-application analysis the
+// paper's introduction motivates: different programs want different
+// operating points.
+#include <cstdio>
+#include <string>
+
+#include "core/framework.hpp"
+#include "netlist/pipeline.hpp"
+#include "perf/ts_model.hpp"
+#include "timing/sta.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/specs.hpp"
+
+using namespace terrors;
+
+int main(int argc, char** argv) {
+  const char* wanted = argc > 1 ? argv[1] : "basicmath";
+  const workloads::WorkloadSpec* spec = nullptr;
+  for (const auto& s : workloads::mibench_specs()) {
+    if (s.name == wanted) spec = &s;
+  }
+  if (spec == nullptr) {
+    std::printf("unknown benchmark '%s'\n", wanted);
+    return 1;
+  }
+
+  const netlist::Pipeline pipeline = netlist::build_pipeline({});
+  const timing::Sta sta(pipeline.netlist);
+  const double fmax_static = sta.max_frequency_mhz();
+  // Non-speculative baseline: guardbanded static signoff (approximating
+  // the paper's SSTA corner with a 10% margin).
+  const double f_base = fmax_static / 1.10 / 1.08;
+
+  core::FrameworkConfig config;
+  core::ErrorRateFramework framework(pipeline, config);
+  framework.set_executor_config(workloads::executor_config_for(*spec, 2, 0.5e-4));
+  const isa::Program program = workloads::generate_program(*spec);
+  const auto inputs = workloads::generate_inputs(*spec, 2, 77);
+
+  std::printf("%s on the synthetic TS pipeline\n", spec->name.c_str());
+  std::printf("static fmax %.1f MHz, guardbanded baseline %.1f MHz\n\n", fmax_static, f_base);
+  std::printf("%10s %10s %12s %14s\n", "MHz", "ratio", "error rate%", "net perf %");
+
+  double best_perf = -1.0;
+  double best_mhz = f_base;
+  for (double ratio = 1.00; ratio <= 1.40 + 1e-9; ratio += 0.05) {
+    const double mhz = f_base * ratio;
+    framework.set_spec(timing::TimingSpec::from_frequency_mhz(mhz));
+    const auto result = framework.analyze(program, inputs);
+    const double rate = result.estimate.rate_mean();
+    perf::TsProcessorModel ts;
+    ts.frequency_ratio = ratio;
+    const double perf = ts.performance_improvement(std::min(1.0, rate));
+    std::printf("%10.1f %10.2f %12.4f %+14.2f\n", mhz, ratio, 100.0 * rate, 100.0 * perf);
+    if (perf > best_perf) {
+      best_perf = perf;
+      best_mhz = mhz;
+    }
+  }
+  std::printf("\nspeedup-optimal operating point: %.1f MHz (%+.2f%% vs baseline)\n", best_mhz,
+              100.0 * best_perf);
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "core/error_model.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace terrors::core {
+
+using dta::DtsGaussian;
+using isa::BlockId;
+
+InstructionErrorModel::InstructionErrorModel(const dta::DatapathModel& datapath,
+                                             timing::TimingSpec spec, ErrorModelConfig config)
+    : datapath_(datapath), spec_(spec), config_(config) {
+  TE_REQUIRE(config.mixed_samples > 0, "need at least one data-variation sample");
+}
+
+double InstructionErrorModel::instance_error_probability(const std::optional<DtsGaussian>& ctrl,
+                                                         const isa::InstrDynContext& ctx,
+                                                         bool prev_errored) const {
+  // Correction-scheme emulation: a flush leaves a bubble (nop values) in
+  // front of the instruction; replay-without-flush restores the previous
+  // instruction's own values.
+  isa::ExContext prev = ctx.prev;
+  if (prev_errored && config_.scheme == CorrectionScheme::kPipelineFlush)
+    prev = isa::ExContext{};  // bubble
+
+  const auto data = datapath_.ex_slack(ctx.cur, prev, spec_);
+
+  std::optional<DtsGaussian> dts;
+  if (ctrl.has_value() && data.has_value()) {
+    dts = dta::dts_min(*ctrl, *data);
+  } else if (ctrl.has_value()) {
+    dts = ctrl;
+  } else if (data.has_value()) {
+    dts = data;
+  }
+  if (!dts.has_value()) return 0.0;  // nothing activated: cannot fail
+  return dts->slack.prob_below_zero();
+}
+
+std::vector<BlockErrorDistributions> InstructionErrorModel::build(
+    const isa::Program& program, const isa::Cfg& cfg, const isa::ProgramProfile& profile,
+    const std::vector<dta::BlockControlDts>& control) const {
+  (void)cfg;  // kept for interface symmetry with the characterizer
+  TE_REQUIRE(profile.blocks.size() == program.block_count(), "profile/program mismatch");
+  TE_REQUIRE(control.size() == program.block_count(), "characterisation/program mismatch");
+
+  const std::size_t m = config_.mixed_samples;
+  std::vector<BlockErrorDistributions> out(program.block_count());
+
+  for (BlockId b = 0; b < program.block_count(); ++b) {
+    const isa::BasicBlock& blk = program.block(b);
+    const isa::BlockProfile& bp = profile.blocks[b];
+    BlockErrorDistributions& bd = out[b];
+    bd.instr.resize(blk.size());
+    for (auto& d : bd.instr) {
+      d.p_correct = stat::Samples(m, 0.0);
+      d.p_error = stat::Samples(m, 0.0);
+    }
+    if (bp.executions == 0) continue;
+    bd.executed = true;
+
+    // Deterministic proportional allocation of the M sample slots across
+    // the incoming edges (plus the entry pseudo-edge), weighted by the
+    // measured traversal counts.
+    struct Source {
+      const isa::EdgeSamples* samples;
+      const dta::EdgeControlDts* control;
+      std::uint64_t count;
+    };
+    std::vector<Source> sources;
+    if (bp.entry_count > 0)
+      sources.push_back({&bp.entry_samples, &control[b].entry, bp.entry_count});
+    for (std::size_t j = 0; j < bp.edge_counts.size(); ++j) {
+      if (bp.edge_counts[j] == 0) continue;
+      sources.push_back({&bp.edge_samples[j], &control[b].per_edge[j], bp.edge_counts[j]});
+    }
+    TE_CHECK(!sources.empty(), "executed block without traversed edges");
+
+    // Largest-remainder slot allocation.
+    std::uint64_t total = 0;
+    for (const auto& s : sources) total += s.count;
+    std::vector<std::size_t> alloc(sources.size(), 0);
+    std::size_t assigned = 0;
+    std::vector<std::pair<double, std::size_t>> remainders;
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const double exact =
+          static_cast<double>(m) * static_cast<double>(sources[s].count) / static_cast<double>(total);
+      alloc[s] = static_cast<std::size_t>(exact);
+      assigned += alloc[s];
+      remainders.emplace_back(exact - static_cast<double>(alloc[s]), s);
+    }
+    std::sort(remainders.rbegin(), remainders.rend());
+    for (std::size_t r = 0; assigned < m; ++r, ++assigned) {
+      ++alloc[remainders[r % remainders.size()].second];
+    }
+
+    std::size_t slot = 0;
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      const auto& dyn = sources[s].samples->samples;
+      for (std::size_t a = 0; a < alloc[s]; ++a, ++slot) {
+        // Cycle through the reservoir when it has fewer entries than slots.
+        const isa::BlockSample* sample = dyn.empty() ? nullptr : &dyn[a % dyn.size()];
+        for (std::size_t k = 0; k < blk.size(); ++k) {
+          const auto& ctrl_dts = k < sources[s].control->instr.size()
+                                     ? sources[s].control->instr[k]
+                                     : std::optional<DtsGaussian>{};
+          if (sample == nullptr || k >= sample->instrs.size()) {
+            // No recorded context (partial sample near the budget guard):
+            // control network only.
+            isa::InstrDynContext empty;
+            empty.cur.op = blk.instructions[k].op;
+            empty.cur.unit = isa::ex_unit(blk.instructions[k].op);
+            bd.instr[k].p_correct[slot] =
+                ctrl_dts.has_value() ? ctrl_dts->slack.prob_below_zero() : 0.0;
+            bd.instr[k].p_error[slot] = instance_error_probability(ctrl_dts, empty, true);
+            continue;
+          }
+          const isa::InstrDynContext& ctx = sample->instrs[k];
+          bd.instr[k].p_correct[slot] = instance_error_probability(ctrl_dts, ctx, false);
+          bd.instr[k].p_error[slot] = instance_error_probability(ctrl_dts, ctx, true);
+        }
+      }
+    }
+    TE_CHECK(slot == m, "sample slot allocation mismatch");
+  }
+  return out;
+}
+
+}  // namespace terrors::core

@@ -1,0 +1,74 @@
+#include "core/framework.hpp"
+
+#include <chrono>
+
+#include "support/check.hpp"
+
+namespace terrors::core {
+
+namespace {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace
+
+ErrorRateFramework::ErrorRateFramework(const netlist::Pipeline& pipeline, FrameworkConfig config)
+    : pipeline_(pipeline), config_(config), vm_(pipeline.netlist, config.variation) {
+  datapath_ = std::make_unique<dta::DatapathModel>(
+      dta::DatapathModel::train(pipeline_, vm_, config_.dts));
+  characterizer_ = std::make_unique<dta::ControlCharacterizer>(
+      pipeline_, vm_, config_.spec, config_.dts, config_.characterizer);
+}
+
+void ErrorRateFramework::set_spec(timing::TimingSpec spec) {
+  config_.spec = spec;
+  // The characterizer's analyzer caches paths, which are spec-independent;
+  // only the slack conversion uses the spec.
+  characterizer_->analyzer().set_spec(spec);
+}
+
+BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
+                                            const std::vector<isa::ProgramInput>& inputs) {
+  TE_REQUIRE(!inputs.empty(), "analyze() needs at least one input dataset");
+  BenchmarkResult result;
+  result.name = program.name();
+  result.basic_blocks = program.block_count();
+
+  last_ = Artifacts{};
+  last_.cfg = std::make_unique<isa::Cfg>(program);
+  last_.executor = std::make_unique<isa::Executor>(program, *last_.cfg, config_.executor);
+
+  // --- simulation phase (the paper's instrumented native execution) -----
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& in : inputs) last_.executor->run(in);
+    result.simulation_seconds = seconds_since(t0);
+  }
+  result.instructions = last_.executor->profile().total_instructions;
+
+  // --- training phase (gate-level control-network characterisation) -----
+  {
+    const auto t0 = std::chrono::steady_clock::now();
+    last_.control = characterizer_->characterize(program, *last_.cfg, last_.executor->profile());
+    result.training_seconds = seconds_since(t0);
+  }
+
+  // --- estimation ---------------------------------------------------------
+  const InstructionErrorModel model(*datapath_, config_.spec, config_.error_model);
+  last_.conditionals =
+      model.build(program, *last_.cfg, last_.executor->profile(), last_.control);
+  const MarginalSolver solver(program, *last_.cfg, last_.executor->profile());
+  last_.marginals = solver.solve(last_.conditionals);
+
+  EstimatorInputs est_in;
+  est_in.program = &program;
+  est_in.profile = &last_.executor->profile();
+  est_in.conditionals = &last_.conditionals;
+  est_in.marginals = &last_.marginals;
+  est_in.execution_scale = config_.execution_scale;
+  est_in.chen_stein_radius = config_.chen_stein_radius;
+  result.estimate = estimate_error_rate(est_in);
+  return result;
+}
+
+}  // namespace terrors::core

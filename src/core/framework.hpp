@@ -1,0 +1,95 @@
+// The end-to-end framework facade: everything the paper's Figure 2 flow
+// does, behind one call.
+//
+//   analyze(program, inputs):
+//     1. simulation phase — run the instrumented program on the inputs
+//        (architecture-level executor; records activation probabilities
+//        and operand contexts),
+//     2. training phase — control-network DTS characterisation per
+//        (block, incoming edge) on the gate-level pipeline, plus the
+//        (shared, one-time) datapath-model training,
+//     3. instruction error probabilities, marginal-probability solve, and
+//        the limit-theorem estimate with Stein/Chen–Stein bounds.
+//
+// Training and simulation wall-clock times are reported per benchmark,
+// mirroring Table 2's runtime columns.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error_model.hpp"
+#include "core/estimator.hpp"
+#include "core/marginal.hpp"
+#include "dta/control_characterizer.hpp"
+#include "dta/datapath_model.hpp"
+#include "isa/executor.hpp"
+#include "netlist/pipeline.hpp"
+#include "timing/variation.hpp"
+
+namespace terrors::core {
+
+struct FrameworkConfig {
+  timing::TimingSpec spec{};
+  /// See EstimatorInputs::execution_scale.
+  double execution_scale = 1.0;
+  /// See EstimatorInputs::chen_stein_radius (0 = paper's Eqs. 7-8).
+  std::size_t chen_stein_radius = 0;
+  timing::VariationConfig variation{};
+  ErrorModelConfig error_model{};
+  isa::ExecutorConfig executor{};
+  dta::DtsConfig dts{};
+  dta::ControlCharacterizerConfig characterizer{};
+};
+
+/// Full per-benchmark analysis result (one Table 2 row plus the Figure 3
+/// distribution accessors through `estimate`).
+struct BenchmarkResult {
+  std::string name;
+  std::uint64_t instructions = 0;  ///< simulated dynamic instructions (all runs)
+  std::size_t basic_blocks = 0;
+  double training_seconds = 0.0;
+  double simulation_seconds = 0.0;
+  ErrorRateEstimate estimate;
+};
+
+class ErrorRateFramework {
+ public:
+  ErrorRateFramework(const netlist::Pipeline& pipeline, FrameworkConfig config = {});
+
+  /// Analyse one program over the given input datasets.
+  [[nodiscard]] BenchmarkResult analyze(const isa::Program& program,
+                                        const std::vector<isa::ProgramInput>& inputs);
+
+  [[nodiscard]] const dta::DatapathModel& datapath_model() const { return *datapath_; }
+  [[nodiscard]] const timing::VariationModel& variation_model() const { return vm_; }
+  [[nodiscard]] const FrameworkConfig& config() const { return config_; }
+  /// Change the operating point (affects subsequent analyze() calls).
+  void set_spec(timing::TimingSpec spec);
+  /// Per-benchmark executor configuration (instruction budget, reservoir).
+  void set_executor_config(const isa::ExecutorConfig& cfg) { config_.executor = cfg; }
+  /// Switch correction scheme / sample count for subsequent analyses.
+  void set_error_model_config(const ErrorModelConfig& cfg) { config_.error_model = cfg; }
+
+  /// Intermediate artefacts of the last analyze() call, for ablation
+  /// benches and tests.
+  struct Artifacts {
+    std::unique_ptr<isa::Cfg> cfg;
+    std::unique_ptr<isa::Executor> executor;
+    std::vector<dta::BlockControlDts> control;
+    std::vector<BlockErrorDistributions> conditionals;
+    std::vector<BlockMarginals> marginals;
+  };
+  [[nodiscard]] const Artifacts& last() const { return last_; }
+
+ private:
+  const netlist::Pipeline& pipeline_;
+  FrameworkConfig config_;
+  timing::VariationModel vm_;
+  std::unique_ptr<dta::DatapathModel> datapath_;
+  std::unique_ptr<dta::ControlCharacterizer> characterizer_;
+  Artifacts last_;
+};
+
+}  // namespace terrors::core

@@ -1,0 +1,175 @@
+#include "core/marginal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace terrors::core {
+
+using isa::BlockId;
+
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  TE_REQUIRE(a.size() == n * n, "matrix size mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
+    }
+    TE_REQUIRE(std::fabs(a[pivot * n + col]) > 1e-14, "singular system");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a[ri * n + c] * x[c];
+    x[ri] = s / a[ri * n + ri];
+  }
+  return x;
+}
+
+MarginalSolver::MarginalSolver(const isa::Program& program, const isa::Cfg& cfg,
+                               const isa::ProgramProfile& profile)
+    : program_(program), cfg_(cfg), profile_(profile) {
+  TE_REQUIRE(profile.blocks.size() == program.block_count(), "profile/program mismatch");
+}
+
+std::vector<BlockMarginals> MarginalSolver::solve(
+    const std::vector<BlockErrorDistributions>& cond) const {
+  const std::size_t nb = program_.block_count();
+  TE_REQUIRE(cond.size() == nb, "conditional distributions/program mismatch");
+  std::size_t m = 0;
+  for (const auto& bd : cond) {
+    if (!bd.instr.empty()) {
+      m = bd.instr[0].p_correct.size();
+      break;
+    }
+  }
+  TE_REQUIRE(m > 0, "no instruction distributions");
+
+  std::vector<BlockMarginals> out(nb);
+  for (BlockId b = 0; b < nb; ++b) {
+    out[b].p_in = stat::Samples(m, 0.0);
+    out[b].instr.assign(program_.block(b).size(), stat::Samples(m, 0.0));
+    out[b].executed = cond[b].executed;
+  }
+
+  // Per-sample scalar solve.
+  std::vector<double> alpha(nb, 0.0);
+  std::vector<double> beta(nb, 0.0);
+  std::vector<double> p_in(nb, 0.0);
+  for (std::size_t s = 0; s < m; ++s) {
+    // Affine fold of Eq. (1): p_out = alpha + beta * p_in.
+    for (BlockId b = 0; b < nb; ++b) {
+      if (!cond[b].executed) {
+        alpha[b] = 0.0;
+        beta[b] = 0.0;
+        continue;
+      }
+      double a = 0.0;
+      double bb = 1.0;
+      for (const auto& d : cond[b].instr) {
+        const double pc = d.p_correct[s];
+        const double pe = d.p_error[s];
+        const double diff = pe - pc;
+        a = pc + diff * a;
+        bb = diff * bb;
+      }
+      alpha[b] = a;
+      beta[b] = bb;
+    }
+
+    // Edge weights (activation probabilities + entry pseudo-edge).
+    auto entry_weight = [&](BlockId b) {
+      const auto& bp = profile_.blocks[b];
+      return bp.executions == 0
+                 ? 0.0
+                 : static_cast<double>(bp.entry_count) / static_cast<double>(bp.executions);
+    };
+    auto edge_weight = [&](BlockId b, std::size_t j) {
+      const auto& bp = profile_.blocks[b];
+      return bp.executions == 0
+                 ? 0.0
+                 : static_cast<double>(bp.edge_counts[j]) / static_cast<double>(bp.executions);
+    };
+
+    // Solve SCCs in topological order.
+    std::fill(p_in.begin(), p_in.end(), 0.0);
+    for (std::uint32_t scc : cfg_.scc_topo_order()) {
+      const auto& members = cfg_.scc_members(scc);
+      // Skip SCCs with no executed blocks.
+      bool any = false;
+      for (BlockId b : members) any = any || cond[b].executed;
+      if (!any) continue;
+
+      if (!cfg_.scc_is_cyclic(scc)) {
+        const BlockId b = members[0];
+        if (!cond[b].executed) continue;
+        double v = entry_weight(b) * 1.0;  // flushed state at program start
+        const auto& preds = cfg_.predecessors(b);
+        for (std::size_t j = 0; j < preds.size(); ++j) {
+          const BlockId t = preds[j].from;
+          v += edge_weight(b, j) * (alpha[t] + beta[t] * p_in[t]);
+        }
+        p_in[b] = v;
+        continue;
+      }
+
+      // Cyclic SCC: x_i - sum_{t in scc} w_ij beta_t x_t = rhs_i.
+      const std::size_t n = members.size();
+      std::vector<std::size_t> local(nb, n);
+      for (std::size_t i = 0; i < n; ++i) local[members[i]] = i;
+      std::vector<double> mat(n * n, 0.0);
+      std::vector<double> rhs(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        const BlockId b = members[i];
+        mat[i * n + i] = 1.0;
+        if (!cond[b].executed) continue;  // x = 0 row
+        double r = entry_weight(b) * 1.0;
+        const auto& preds = cfg_.predecessors(b);
+        for (std::size_t j = 0; j < preds.size(); ++j) {
+          const BlockId t = preds[j].from;
+          const double w = edge_weight(b, j);
+          if (w == 0.0) continue;
+          if (local[t] < n) {
+            mat[i * n + local[t]] -= w * beta[t];
+            r += w * alpha[t];
+          } else {
+            r += w * (alpha[t] + beta[t] * p_in[t]);
+          }
+        }
+        rhs[i] = r;
+      }
+      const std::vector<double> x = solve_dense(std::move(mat), std::move(rhs));
+      for (std::size_t i = 0; i < n; ++i) p_in[members[i]] = x[i];
+    }
+
+    // Recover per-instruction marginals via the recurrence.
+    for (BlockId b = 0; b < nb; ++b) {
+      if (!cond[b].executed) continue;
+      out[b].p_in[s] = p_in[b];
+      double prev = p_in[b];
+      for (std::size_t k = 0; k < cond[b].instr.size(); ++k) {
+        const double pc = cond[b].instr[k].p_correct[s];
+        const double pe = cond[b].instr[k].p_error[s];
+        prev = pe * prev + pc * (1.0 - prev);
+        out[b].instr[k][s] = prev;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace terrors::core

@@ -1,0 +1,51 @@
+// Marginal error probabilities (Section 4.2).
+//
+// Inside a block, Eq. (1) is a linear recurrence
+//   p_k = p^e_k p_{k-1} + p^c_k (1 - p_{k-1}),
+// so every instruction's marginal probability is affine in the block's
+// input error probability p^in.  Across blocks, Eq. (2) mixes the output
+// probabilities of the predecessors with the measured edge-activation
+// probabilities.  Cycles in the CFG yield linear systems, which are solved
+// per strongly-connected component in the condensation's topological order
+// (Tarjan), exactly as the paper prescribes.  The program entry uses the
+// paper's flushed-state assumption p^in = 1.
+//
+// All quantities are random variables over data variation, realised as
+// aligned sample vectors; the solve is performed independently per sample
+// index (each index is one common-random-numbers "world").
+#pragma once
+
+#include <vector>
+
+#include "core/error_model.hpp"
+#include "isa/cfg.hpp"
+#include "isa/executor.hpp"
+#include "isa/program.hpp"
+
+namespace terrors::core {
+
+struct BlockMarginals {
+  stat::Samples p_in;                ///< p_i^in
+  std::vector<stat::Samples> instr;  ///< p_{i_k}
+  bool executed = false;
+};
+
+class MarginalSolver {
+ public:
+  MarginalSolver(const isa::Program& program, const isa::Cfg& cfg,
+                 const isa::ProgramProfile& profile);
+
+  [[nodiscard]] std::vector<BlockMarginals> solve(
+      const std::vector<BlockErrorDistributions>& cond) const;
+
+ private:
+  const isa::Program& program_;
+  const isa::Cfg& cfg_;
+  const isa::ProgramProfile& profile_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting (A is
+/// n*n row-major, overwritten).  Exposed for tests.
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b);
+
+}  // namespace terrors::core

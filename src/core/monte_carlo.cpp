@@ -1,0 +1,53 @@
+#include "core/monte_carlo.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace terrors::core {
+
+std::vector<std::uint64_t> monte_carlo_error_counts(
+    const isa::ProgramProfile& profile, const std::vector<BlockErrorDistributions>& cond,
+    std::size_t trials, support::Rng& rng, std::ptrdiff_t fixed_world) {
+  TE_REQUIRE(!profile.block_traces.empty(),
+             "Monte-Carlo needs a block trace (record_block_trace)");
+  std::size_t m = 0;
+  for (const auto& bd : cond) {
+    if (!bd.instr.empty()) {
+      m = bd.instr[0].p_correct.size();
+      break;
+    }
+  }
+  TE_REQUIRE(m > 0, "no conditional distributions");
+
+  std::vector<std::uint64_t> counts;
+  counts.reserve(trials);
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto& trace = profile.block_traces[t % profile.block_traces.size()];
+    TE_REQUIRE(fixed_world < static_cast<std::ptrdiff_t>(m), "world index out of range");
+    const std::size_t world =
+        fixed_world >= 0 ? static_cast<std::size_t>(fixed_world) : rng.uniform_index(m);
+    bool prev_errored = true;  // flushed state at program start (p_in = 1)
+    std::uint64_t n_e = 0;
+    for (const auto& step : trace) {
+      const auto& bd = cond[step.block];
+      for (const auto& instr : bd.instr) {
+        const double p = prev_errored ? instr.p_error[world] : instr.p_correct[world];
+        const bool err = rng.bernoulli(p);
+        n_e += err ? 1u : 0u;
+        prev_errored = err;
+      }
+    }
+    counts.push_back(n_e);
+  }
+  return counts;
+}
+
+double empirical_cdf(const std::vector<std::uint64_t>& counts, std::uint64_t k) {
+  TE_REQUIRE(!counts.empty(), "empty Monte-Carlo sample");
+  std::size_t le = 0;
+  for (std::uint64_t c : counts) le += c <= k ? 1u : 0u;
+  return static_cast<double>(le) / static_cast<double>(counts.size());
+}
+
+}  // namespace terrors::core

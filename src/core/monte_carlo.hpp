@@ -1,0 +1,38 @@
+// Monte-Carlo validation of the limit-theorem machinery.
+//
+// The paper cannot Monte-Carlo its full-size benchmarks (the baseline
+// simulator is too slow) and instead certifies the Poisson/normal
+// approximations with Stein-type bounds.  Our reproduction can afford MC
+// on small programs, which lets us check that the Chen–Stein bound indeed
+// dominates the observed Kolmogorov distance — the validation experiment
+// behind bench_limit_theorems.
+//
+// A trial samples one data world m (one common-random-numbers input) and
+// walks a recorded dynamic block trace, drawing each instruction's error
+// Bernoulli from p^c or p^e according to whether the previous instruction
+// errored (the paper's Markov error-correction dependence), starting from
+// the flushed state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error_model.hpp"
+#include "isa/executor.hpp"
+#include "support/rng.hpp"
+
+namespace terrors::core {
+
+/// Empirical error counts, one per trial.  Requires the profile to have
+/// been collected with ExecutorConfig::record_block_trace = true.
+/// `fixed_world` >= 0 pins the data world (validates the Poisson step in
+/// isolation: N_E | lambda(world)); -1 samples a world per trial
+/// (validates the full mixture of Eq. 14).
+[[nodiscard]] std::vector<std::uint64_t> monte_carlo_error_counts(
+    const isa::ProgramProfile& profile, const std::vector<BlockErrorDistributions>& cond,
+    std::size_t trials, support::Rng& rng, std::ptrdiff_t fixed_world = -1);
+
+/// Empirical CDF helper: Pr(count <= k) over the trial results.
+[[nodiscard]] double empirical_cdf(const std::vector<std::uint64_t>& counts, std::uint64_t k);
+
+}  // namespace terrors::core

@@ -1,0 +1,68 @@
+// Control-network DTS characterisation (Section 4): for every basic block
+// and every incoming CFG edge, the pipeline netlist executes the
+// predecessor's tail followed by the block, and Algorithm 2 (minimum of
+// Algorithm 1's stage DTS across the stages each instruction traverses)
+// yields one control-network DTS per instruction.  The control network's
+// activated paths depend on the instruction stream, not on operand values,
+// which is why this expensive gate-level step runs only once per
+// (block, edge) — the paper's key efficiency argument.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "dta/dts_analyzer.hpp"
+#include "dta/pipeline_driver.hpp"
+#include "isa/cfg.hpp"
+#include "isa/executor.hpp"
+#include "isa/program.hpp"
+#include "netlist/pipeline.hpp"
+#include "timing/variation.hpp"
+
+namespace terrors::dta {
+
+/// Control DTS of every instruction of a block entered via one edge;
+/// nullopt entries mean "no activated control path" (cannot fail).
+struct EdgeControlDts {
+  std::vector<std::optional<DtsGaussian>> instr;
+};
+
+struct BlockControlDts {
+  std::vector<EdgeControlDts> per_edge;  ///< aligned with Cfg::predecessors
+  EdgeControlDts entry;                  ///< entered as program start
+};
+
+struct ControlCharacterizerConfig {
+  int pred_tail = 4;     ///< predecessor instructions replayed for context
+  int warmup_nops = 4;   ///< bubbles after reset before the context
+};
+
+class ControlCharacterizer {
+ public:
+  ControlCharacterizer(const netlist::Pipeline& pipeline, const timing::VariationModel& vm,
+                       timing::TimingSpec spec, DtsConfig dts_config = {},
+                       ControlCharacterizerConfig config = {});
+
+  /// Characterise all (block, edge) pairs of the program, using the
+  /// executor profile's sampled contexts as representative operand values.
+  /// Unexecuted edges get empty (nullopt) characterisations.
+  [[nodiscard]] std::vector<BlockControlDts> characterize(const isa::Program& program,
+                                                          const isa::Cfg& cfg,
+                                                          const isa::ProgramProfile& profile);
+
+  /// Characterise a single (block, edge) pair; edge == -1 means entry.
+  [[nodiscard]] EdgeControlDts characterize_edge(const isa::Program& program, const isa::Cfg& cfg,
+                                                 const isa::ProgramProfile& profile,
+                                                 isa::BlockId block, std::ptrdiff_t edge);
+
+  [[nodiscard]] DtsAnalyzer& analyzer() { return analyzer_; }
+
+ private:
+  const netlist::Pipeline& pipeline_;
+  DtsAnalyzer analyzer_;
+  PipelineDriver driver_;
+  ControlCharacterizerConfig config_;
+};
+
+}  // namespace terrors::dta

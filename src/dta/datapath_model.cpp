@@ -1,0 +1,238 @@
+#include "dta/datapath_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "dta/pipeline_driver.hpp"
+#include "support/check.hpp"
+#include "support/math.hpp"
+
+namespace terrors::dta {
+
+using isa::ExContext;
+using isa::ExUnit;
+using isa::Opcode;
+
+namespace {
+
+/// Carry bits c_1..c_w of a + b + cin (bit i of the result holds c_{i+1}).
+std::uint64_t carry_bits(std::uint32_t a, std::uint32_t b, bool cin) {
+  std::uint64_t carries = 0;
+  std::uint32_t c = cin ? 1u : 0u;
+  for (int i = 0; i < 32; ++i) {
+    const std::uint32_t ai = (a >> i) & 1u;
+    const std::uint32_t bi = (b >> i) & 1u;
+    c = (ai & bi) | (c & (ai ^ bi));
+    carries |= static_cast<std::uint64_t>(c) << i;
+  }
+  return carries;
+}
+
+/// Effective adder inputs of an EX context (subtracts invert B and set the
+/// carry-in, like the hardware does).
+void adder_inputs(const ExContext& cx, std::uint32_t& a, std::uint32_t& b, bool& cin) {
+  const bool sub = cx.op == Opcode::kSub || cx.op == Opcode::kSubi;
+  a = cx.a;
+  b = sub ? ~cx.b : cx.b;
+  cin = sub;
+}
+
+int longest_run(std::uint64_t bits) {
+  int best = 0;
+  int cur = 0;
+  while (bits != 0) {
+    if (bits & 1ull) {
+      ++cur;
+      best = std::max(best, cur);
+    } else {
+      cur = 0;
+    }
+    bits >>= 1;
+  }
+  return best;
+}
+
+struct Measurement {
+  int length;
+  DtsGaussian dts;  ///< arrival form (mean is the activated arrival)
+};
+
+DatapathModel::Linear fit_linear(const std::vector<Measurement>& ms,
+                                 double (*extract)(const DtsGaussian&)) {
+  TE_REQUIRE(!ms.empty(), "no measurements to fit");
+  // Least squares y = base + per_unit * L.
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  for (const auto& m : ms) {
+    const double x = m.length;
+    const double y = extract(m.dts);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double n = static_cast<double>(ms.size());
+  const double denom = n * sxx - sx * sx;
+  DatapathModel::Linear lin;
+  if (std::fabs(denom) < 1e-12) {
+    lin.base = sy / n;
+    lin.per_unit = 0.0;
+  } else {
+    lin.per_unit = (n * sxy - sx * sy) / denom;
+    lin.base = (sy - lin.per_unit * sx) / n;
+  }
+  return lin;
+}
+
+}  // namespace
+
+int DatapathModel::adder_chain_length(const ExContext& cur, const ExContext& prev) {
+  std::uint32_t a1 = 0;
+  std::uint32_t b1 = 0;
+  bool c1 = false;
+  std::uint32_t a0 = 0;
+  std::uint32_t b0 = 0;
+  bool c0 = false;
+  adder_inputs(cur, a1, b1, c1);
+  adder_inputs(prev, a0, b0, c0);
+  if (a1 == a0 && b1 == b0 && c1 == c0) return -1;  // nothing toggles
+  const std::uint64_t toggles = carry_bits(a1, b1, c1) ^ carry_bits(a0, b0, c0);
+  const int run = longest_run(toggles);
+  // Inputs changed but no carry toggles: local (single full-adder) activity.
+  return run == 0 ? 1 : run + 1;
+}
+
+DatapathModel DatapathModel::train(const netlist::Pipeline& pipeline,
+                                   const timing::VariationModel& vm,
+                                   const DtsConfig& dts_config) {
+  // The spec used for training only shifts slack by a constant; we store
+  // arrival statistics (period - setup - slack) so it cancels out.
+  const timing::TimingSpec spec{10000.0, netlist::kSetupTimePs};
+  DtsAnalyzer analyzer(pipeline.netlist, vm, spec, dts_config);
+  PipelineDriver driver(pipeline);
+
+  constexpr std::uint8_t kExStage = 3;
+
+  auto measure = [&](Opcode prev_op, std::uint32_t pa, std::uint32_t pb, Opcode cur_op,
+                     std::uint32_t ca, std::uint32_t cb) -> std::optional<DtsGaussian> {
+    std::vector<FetchSlot> slots;
+    std::uint32_t pc = 0x2000;
+    for (int i = 0; i < 6; ++i) {
+      slots.push_back(FetchSlot::nop(pc));
+      pc += 4;
+    }
+    isa::Instruction prev_inst;
+    prev_inst.op = prev_op;
+    isa::InstrDynContext prev_ctx;
+    prev_ctx.cur = {pa, pb, isa::ex_unit(prev_op), prev_op};
+    prev_ctx.pc = pc;
+    slots.push_back(FetchSlot::from_context(prev_inst, prev_ctx));
+    pc += 4;
+    isa::Instruction cur_inst;
+    cur_inst.op = cur_op;
+    isa::InstrDynContext cur_ctx;
+    cur_ctx.cur = {ca, cb, isa::ex_unit(cur_op), cur_op};
+    cur_ctx.pc = pc;
+    slots.push_back(FetchSlot::from_context(cur_inst, cur_ctx));
+    const std::size_t cur_slot = slots.size() - 1;
+
+    auto cycles = driver.run(slots);
+    CycleActivation& ex_cycle = cycles[cur_slot + kExStage];
+    auto dts = analyzer.stage_dts(kExStage, ex_cycle, netlist::EndpointClass::kData);
+    if (!dts.has_value()) return std::nullopt;
+    // Convert slack statistics to arrival statistics.
+    DtsGaussian arr;
+    arr.slack = {spec.period_ps - spec.setup_ps - dts->slack.mean, dts->slack.sd};
+    arr.global_loading = dts->global_loading;
+    return arr;
+  };
+
+  DatapathModel model;
+  model.period_ref_ = spec.period_ps;
+
+  // --- adder: controlled carry chains of length L --------------------------
+  std::vector<Measurement> adder_ms;
+  for (int len = 2; len <= 32; len += 2) {
+    const std::uint32_t a =
+        len >= 32 ? 0xFFFFFFFFu : ((1u << len) - 1u);
+    auto m = measure(Opcode::kAdd, 0, 0, Opcode::kAdd, a, 1u);
+    if (m.has_value()) {
+      const int l = adder_chain_length({a, 1u, ExUnit::kAdder, Opcode::kAdd},
+                                       {0, 0, ExUnit::kAdder, Opcode::kAdd});
+      adder_ms.push_back({l, *m});
+    }
+  }
+  TE_CHECK(adder_ms.size() >= 4, "adder training produced too few measurements");
+  model.adder_mean_ = fit_linear(adder_ms, [](const DtsGaussian& g) { return g.slack.mean; });
+  model.adder_sd_ = fit_linear(adder_ms, [](const DtsGaussian& g) { return g.slack.sd; });
+  model.adder_gl_ = fit_linear(adder_ms, [](const DtsGaussian& g) { return g.global_loading; });
+
+  // --- logic unit -----------------------------------------------------------
+  {
+    auto m = measure(Opcode::kXor, 0, 0, Opcode::kXor, 0xA5A5A5A5u, 0x5A5A5A5Au);
+    TE_CHECK(m.has_value(), "logic-unit training measurement failed");
+    model.logic_ = *m;
+  }
+  // --- shifter ---------------------------------------------------------------
+  {
+    auto m = measure(Opcode::kSll, 0, 0, Opcode::kSll, 0xDEADBEEFu, 17u);
+    TE_CHECK(m.has_value(), "shifter training measurement failed");
+    model.shift_ = *m;
+  }
+  // --- pass-through (movi / nop) ----------------------------------------------
+  {
+    auto m = measure(Opcode::kMovi, 0, 0, Opcode::kMovi, 0, 0x1234u);
+    // A pass-through may produce a very short path; fall back to logic
+    // statistics scaled down if nothing was activated.
+    if (m.has_value()) {
+      model.pass_ = *m;
+    } else {
+      model.pass_ = model.logic_;
+    }
+  }
+  return model;
+}
+
+std::optional<DtsGaussian> DatapathModel::ex_arrival(const ExContext& cur,
+                                                     const ExContext& prev) const {
+  switch (cur.unit) {
+    case ExUnit::kAdder: {
+      const int len = adder_chain_length(cur, prev);
+      if (len < 0) return std::nullopt;
+      DtsGaussian g;
+      g.slack = {adder_mean_.at(len), std::max(0.0, adder_sd_.at(len))};
+      g.global_loading = support::clamp(adder_gl_.at(len), 0.0, g.slack.sd);
+      return g;
+    }
+    case ExUnit::kLogic:
+      if (cur.a == prev.a && cur.b == prev.b && cur.op == prev.op) return std::nullopt;
+      return logic_;
+    case ExUnit::kShifter:
+      if (cur.a == prev.a && cur.b == prev.b && cur.op == prev.op) return std::nullopt;
+      return shift_;
+    case ExUnit::kCompare:
+      // Dedicated comparator + EX pass-through; operand change activates
+      // the (shallow) pass path, the comparator itself is covered by the
+      // control-network characterisation.
+      if (cur.a == prev.a && cur.b == prev.b) return std::nullopt;
+      return pass_;
+    case ExUnit::kNone:
+      if (cur.b == prev.b) return std::nullopt;
+      return pass_;
+  }
+  return std::nullopt;
+}
+
+std::optional<DtsGaussian> DatapathModel::ex_slack(const ExContext& cur, const ExContext& prev,
+                                                   const timing::TimingSpec& spec) const {
+  auto arr = ex_arrival(cur, prev);
+  if (!arr.has_value()) return std::nullopt;
+  DtsGaussian out = *arr;
+  out.slack = {spec.period_ps - spec.setup_ps - arr->slack.mean, arr->slack.sd};
+  return out;
+}
+
+}  // namespace terrors::dta

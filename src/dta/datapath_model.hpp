@@ -1,0 +1,67 @@
+// The architecture-level datapath timing model of Section 4 ("Datapath DTS
+// Characterization"), in the style of the authors' CODES'14 model [2]:
+// instead of gate-level analysis per cycle, the EX-stage DTS is predicted
+// from architecturally visible operand values.  The model is *trained* by
+// running special instruction sequences on the gate-level pipeline that
+// selectively activate timing paths of controlled length (carry chains of
+// length L, shifter levels, logic ops) and measuring the stage DTS with
+// Algorithm 1; at inference the activated carry-chain length is computed
+// exactly from the operand values of consecutive instructions, which is
+// how the error-correction scheme enters: a pipeline flush replaces the
+// previous instruction's values by a bubble, changing the activation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dta/dts_analyzer.hpp"
+#include "isa/executor.hpp"
+#include "netlist/pipeline.hpp"
+#include "timing/sta.hpp"
+#include "timing/variation.hpp"
+
+namespace terrors::dta {
+
+class DatapathModel {
+ public:
+  /// Train against the gate-level pipeline (uses its own driver/analyzer).
+  static DatapathModel train(const netlist::Pipeline& pipeline,
+                             const timing::VariationModel& vm, const DtsConfig& dts_config = {});
+
+  /// EX-stage arrival statistics (mean / sd / global loading, in ps) for
+  /// an instruction with EX context `cur` whose predecessor in the
+  /// pipeline had context `prev`.  nullopt when nothing toggles (no
+  /// activated datapath path, hence no possible timing error).
+  [[nodiscard]] std::optional<DtsGaussian> ex_arrival(const isa::ExContext& cur,
+                                                      const isa::ExContext& prev) const;
+
+  /// Slack form under a clock spec: DTS = period - setup - arrival.
+  [[nodiscard]] std::optional<DtsGaussian> ex_slack(const isa::ExContext& cur,
+                                                    const isa::ExContext& prev,
+                                                    const timing::TimingSpec& spec) const;
+
+  /// Activated carry-chain length used by the model for an adder-class
+  /// instruction pair (exposed for tests / ablation).  -1 = no activation.
+  static int adder_chain_length(const isa::ExContext& cur, const isa::ExContext& prev);
+
+  /// Model parameters (linear in chain length for the adder).
+  struct Linear {
+    double base = 0.0;
+    double per_unit = 0.0;
+    [[nodiscard]] double at(int length) const { return base + per_unit * length; }
+  };
+  [[nodiscard]] const Linear& adder_mean() const { return adder_mean_; }
+
+ private:
+  // Adder: linear fits in the activated chain length.
+  Linear adder_mean_;
+  Linear adder_sd_;
+  Linear adder_gl_;
+  // Logic / shifter / pass-through: constant arrival statistics.
+  DtsGaussian logic_{};
+  DtsGaussian shift_{};
+  DtsGaussian pass_{};
+  double period_ref_ = 0.0;  ///< spec used during training (for conversion)
+};
+
+}  // namespace terrors::dta

@@ -1,0 +1,145 @@
+// Algorithm 1 of the paper: dynamic timing slack of a pipeline stage in a
+// given clock cycle, as the (statistical) minimum slack over the most
+// critical *activated* paths of the stage's endpoints.
+//
+// Under SSTA every slack is a Gaussian.  Following Section 3, the critical-
+// path scan runs twice per endpoint — once ordering candidate paths by
+// worst-case (1st percentile) slack and once by best-case (99th
+// percentile) slack — and the stage DTS is the statistical minimum of the
+// collected activated paths (greedy pairwise Clark minimum with full path
+// covariance, after Sinha et al. [21]).
+//
+// Engineering notes (documented deviations):
+//  * Candidate path lists are enumerated lazily in decreasing nominal
+//    delay and capped (PathConfig); ripple-carry endpoints have
+//    exponentially many near-identical paths.  When no candidate is
+//    activated, an exact activated-subgraph longest-path DP reconstructs
+//    the most critical activated path (by nominal delay) and that path
+//    joins AP.  This matches the deterministic semantics exactly and is a
+//    principled approximation under SSTA.
+//  * Besides the Gaussian DTS we propagate the path's chip-global variance
+//    loading through the Clark combinations, so later minima against the
+//    datapath model can account for the dominant cross-network
+//    correlation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "stat/clark.hpp"
+#include "stat/gaussian.hpp"
+#include "timing/paths.hpp"
+#include "timing/sta.hpp"
+#include "timing/variation.hpp"
+
+namespace terrors::dta {
+
+/// A Gaussian DTS that remembers how much of its variance is the
+/// chip-global variation component (for cross-network correlation).
+struct DtsGaussian {
+  stat::Gaussian slack;
+  double global_loading = 0.0;  ///< ps of slack sd attributable to Z0
+
+  /// Correlation with another DtsGaussian through the global component.
+  [[nodiscard]] double global_corr(const DtsGaussian& other) const;
+};
+
+/// Statistical minimum of two DtsGaussians using their global correlation.
+DtsGaussian dts_min(const DtsGaussian& a, const DtsGaussian& b);
+
+/// One simulated cycle's activation flags plus a lazily computed (and
+/// cached) activated-subgraph longest-path table, shared across the stage /
+/// endpoint queries of that cycle.
+class CycleActivation {
+ public:
+  CycleActivation(const netlist::Netlist& nl, std::vector<std::uint8_t> flags);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& flags() const { return flags_; }
+  /// Longest activated arrival per gate output (computed on first use).
+  [[nodiscard]] const std::vector<double>& arrivals() const;
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<std::uint8_t> flags_;
+  mutable std::vector<double> arrivals_;
+};
+
+struct DtsConfig {
+  std::size_t top_k = 24;  ///< candidate paths examined per endpoint and pass
+  double percentile_low = 0.01;
+  double percentile_high = 0.99;
+  stat::MinOrdering ordering = stat::MinOrdering::kGreedyTightness;
+  /// Paths whose mean slack exceeds the best mean by more than
+  /// prune_sigmas * (their combined sd) cannot win the minimum; drop them.
+  double prune_sigmas = 6.0;
+};
+
+class DtsAnalyzer {
+ public:
+  DtsAnalyzer(const netlist::Netlist& nl, const timing::VariationModel& vm,
+              timing::TimingSpec spec, DtsConfig config = {},
+              timing::PathConfig path_config = {});
+
+  /// DTS of `stage` for the given cycle, restricted to endpoints of class
+  /// `cls` (kNone = all endpoints).  nullopt when no endpoint of the stage
+  /// has an activated path (the stage cannot fail in this cycle).
+  [[nodiscard]] std::optional<DtsGaussian> stage_dts(std::uint8_t stage, CycleActivation& cycle,
+                                                     netlist::EndpointClass cls);
+
+  /// DTS of a single endpoint for the cycle.
+  [[nodiscard]] std::optional<DtsGaussian> endpoint_dts(netlist::GateId endpoint,
+                                                        CycleActivation& cycle);
+
+  /// Deterministic DTS (no process variation): slack of the longest
+  /// activated path ending in the stage, on nominal or chip delays.
+  /// Used for Monte-Carlo validation.
+  [[nodiscard]] std::optional<double> stage_dts_deterministic(
+      std::uint8_t stage, const std::vector<std::uint8_t>& activated, netlist::EndpointClass cls,
+      const timing::ChipSample* chip = nullptr) const;
+
+  [[nodiscard]] const timing::TimingSpec& spec() const { return spec_; }
+  void set_spec(timing::TimingSpec spec) { spec_ = spec; }
+  [[nodiscard]] const DtsConfig& config() const { return config_; }
+  [[nodiscard]] timing::PathEnumerator& paths() { return paths_; }
+
+  /// Collected activated critical paths (AP set) of the last stage_dts
+  /// call, for inspection and for Algorithm 2's cross-stage minimum.
+  [[nodiscard]] const std::vector<timing::PathStat>& last_ap() const { return last_ap_; }
+
+ private:
+  /// Per-endpoint cache of candidate-path statistics and the two
+  /// percentile orderings (they do not depend on the cycle).
+  struct EndpointCache {
+    std::size_t built = 0;  ///< candidates processed so far
+    std::vector<timing::PathStat> stats;
+    std::vector<std::size_t> order_low;   ///< by worst-case slack
+    std::vector<std::size_t> order_high;  ///< by best-case slack
+  };
+
+  std::optional<timing::PathStat> endpoint_critical_activated(netlist::GateId endpoint,
+                                                              CycleActivation& cycle);
+  EndpointCache& endpoint_cache(netlist::GateId endpoint);
+
+  const netlist::Netlist& nl_;
+  const timing::VariationModel& vm_;
+  timing::TimingSpec spec_;
+  DtsConfig config_;
+  timing::PathEnumerator paths_;
+  std::vector<timing::PathStat> last_ap_;
+  std::vector<timing::PathStat> pending_alternates_;
+  std::unordered_map<netlist::GateId, EndpointCache> cache_;
+  /// DP-fallback path statistics keyed by (endpoint, gate-list hash):
+  /// activated carry chains recur across cycles.
+  std::unordered_map<std::uint64_t, timing::PathStat> dp_cache_;
+};
+
+/// Statistical minimum over a set of path slacks with full covariance;
+/// exposed for Algorithm 2 (minimum over stages) and tests.
+DtsGaussian statistical_path_min(const std::vector<timing::PathStat>& paths,
+                                 const timing::VariationModel& vm,
+                                 const timing::TimingSpec& spec, const DtsConfig& config);
+
+}  // namespace terrors::dta

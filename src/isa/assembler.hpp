@@ -1,0 +1,28 @@
+// A small assembler for the SR5 ISA: turns labelled text into a Program,
+// so users can write workloads without constructing IR by hand.
+//
+// Syntax (one instruction per line; ';' or '#' start comments):
+//
+//   loop:                       ; a label opens a new basic block
+//     addi r2, r2, 3
+//     subi r1, r1, 1
+//     bne  r1, r0, loop         ; conditional branches end the block
+//   done:
+//     st   r2, r0, 16           ; st rs2, rs1, imm  (mem[rs1+imm] = rs2)
+//     halt                      ; pseudo-op: block with no successors
+//
+// Register operands are r0..r31; immediates are decimal or 0x hex.
+// Fall-through between blocks follows the textual order.
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace terrors::isa {
+
+/// Assemble a program from source text.  Throws std::invalid_argument
+/// with a line-numbered message on any syntax or semantic error.
+[[nodiscard]] Program assemble(const std::string& source, std::string name = "asm");
+
+}  // namespace terrors::isa

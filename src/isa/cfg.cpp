@@ -1,0 +1,112 @@
+#include "isa/cfg.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace terrors::isa {
+
+Cfg::Cfg(const Program& program) {
+  const std::size_t n = program.block_count();
+  TE_REQUIRE(n > 0, "CFG of an empty program");
+  succ_.assign(n, {});
+  pred_.assign(n, {});
+  for (BlockId b = 0; b < n; ++b) {
+    const BasicBlock& blk = program.block(b);
+    if (blk.taken != kNoBlock) {
+      succ_[b].push_back(blk.taken);
+      pred_[blk.taken].push_back({b, true});
+    }
+    if (blk.fallthrough != kNoBlock) {
+      succ_[b].push_back(blk.fallthrough);
+      pred_[blk.fallthrough].push_back({b, false});
+    }
+  }
+
+  // Reachability from the entry.
+  reachable_.assign(n, false);
+  std::vector<BlockId> stack = {program.entry()};
+  reachable_[program.entry()] = true;
+  while (!stack.empty()) {
+    const BlockId b = stack.back();
+    stack.pop_back();
+    for (BlockId s : succ_[b]) {
+      if (!reachable_[s]) {
+        reachable_[s] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+
+  // Tarjan's SCC algorithm, iterative to survive deep CFGs.
+  constexpr std::uint32_t kUndef = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> index(n, kUndef);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<BlockId> scc_stack;
+  scc_of_.assign(n, kUndef);
+  std::uint32_t next_index = 0;
+
+  struct Frame {
+    BlockId v;
+    std::size_t child;
+  };
+  for (BlockId root = 0; root < n; ++root) {
+    if (index[root] != kUndef) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < succ_[f.v].size()) {
+        const BlockId w = succ_[f.v][f.child++];
+        if (index[w] == kUndef) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        if (lowlink[f.v] == index[f.v]) {
+          // f.v is an SCC root; pop its component.
+          std::vector<BlockId> members;
+          for (;;) {
+            const BlockId w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+            scc_of_[w] = static_cast<std::uint32_t>(sccs_.size());
+            members.push_back(w);
+            if (w == f.v) break;
+          }
+          sccs_.push_back(std::move(members));
+        }
+        const BlockId v = f.v;
+        frames.pop_back();
+        if (!frames.empty())
+          lowlink[frames.back().v] = std::min(lowlink[frames.back().v], lowlink[v]);
+      }
+    }
+  }
+
+  // Tarjan emits SCCs in reverse topological order of the condensation.
+  topo_.resize(sccs_.size());
+  for (std::size_t i = 0; i < sccs_.size(); ++i)
+    topo_[i] = static_cast<std::uint32_t>(sccs_.size() - 1 - i);
+}
+
+const std::vector<BlockId>& Cfg::scc_members(std::uint32_t scc) const {
+  TE_REQUIRE(scc < sccs_.size(), "SCC id out of range");
+  return sccs_[scc];
+}
+
+bool Cfg::scc_is_cyclic(std::uint32_t scc) const {
+  TE_REQUIRE(scc < sccs_.size(), "SCC id out of range");
+  if (sccs_[scc].size() > 1) return true;
+  const BlockId b = sccs_[scc][0];
+  return std::find(succ_[b].begin(), succ_[b].end(), b) != succ_[b].end();
+}
+
+}  // namespace terrors::isa

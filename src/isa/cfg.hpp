@@ -1,0 +1,55 @@
+// Control-flow-graph analysis: predecessor lists (the "incoming edges" of
+// Section 4.2), Tarjan's strongly-connected-components algorithm and the
+// condensation's topological order — the machinery the paper uses to order
+// and solve the per-SCC linear systems of marginal error probabilities.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace terrors::isa {
+
+/// An incoming edge of a block: which predecessor, and via which successor
+/// slot (taken or fall-through).
+struct CfgEdge {
+  BlockId from = kNoBlock;
+  bool via_taken = false;
+};
+
+class Cfg {
+ public:
+  explicit Cfg(const Program& program);
+
+  [[nodiscard]] std::size_t block_count() const { return succ_.size(); }
+  [[nodiscard]] const std::vector<BlockId>& successors(BlockId b) const { return succ_[b]; }
+  /// Incoming edges in a stable order; index j here is the paper's j-th
+  /// incoming edge of the block.
+  [[nodiscard]] const std::vector<CfgEdge>& predecessors(BlockId b) const { return pred_[b]; }
+  [[nodiscard]] std::size_t indegree(BlockId b) const { return pred_[b].size(); }
+
+  /// SCC id of a block; ids are dense, 0-based.
+  [[nodiscard]] std::uint32_t scc_of(BlockId b) const { return scc_of_[b]; }
+  [[nodiscard]] std::size_t scc_count() const { return sccs_.size(); }
+  /// Members of one SCC.
+  [[nodiscard]] const std::vector<BlockId>& scc_members(std::uint32_t scc) const;
+  /// SCC ids in topological order of the condensation (sources first):
+  /// every edge goes from an earlier to a later entry.
+  [[nodiscard]] const std::vector<std::uint32_t>& scc_topo_order() const { return topo_; }
+  /// True if the SCC contains a cycle (more than one block, or a self-loop).
+  [[nodiscard]] bool scc_is_cyclic(std::uint32_t scc) const;
+
+  /// Blocks reachable from the entry.
+  [[nodiscard]] const std::vector<bool>& reachable() const { return reachable_; }
+
+ private:
+  std::vector<std::vector<BlockId>> succ_;
+  std::vector<std::vector<CfgEdge>> pred_;
+  std::vector<std::uint32_t> scc_of_;
+  std::vector<std::vector<BlockId>> sccs_;
+  std::vector<std::uint32_t> topo_;
+  std::vector<bool> reachable_;
+};
+
+}  // namespace terrors::isa

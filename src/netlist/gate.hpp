@@ -1,0 +1,50 @@
+// The gate library: a small standard-cell set sufficient to structurally
+// elaborate an in-order integer pipeline (adders, shifters, mux trees,
+// decoders, random control clouds) with per-kind nominal delays loosely
+// modelled on a 45nm general-purpose library.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace terrors::netlist {
+
+enum class GateKind : std::uint8_t {
+  kInput,   ///< primary input (endpoint in the paper's sense: a path source)
+  kConst0,  ///< constant 0
+  kConst1,  ///< constant 1
+  kBuf,
+  kInv,
+  kAnd2,
+  kNand2,
+  kOr2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kMux2,  ///< fanins: (a, b, sel) -> sel ? b : a
+  kDff,   ///< fanin: (d); output is the captured state (a path endpoint)
+  kOutput,  ///< primary output (endpoint); fanin: (d)
+};
+
+inline constexpr int kGateKindCount = 14;
+
+/// Static properties of a gate kind.
+struct GateKindInfo {
+  std::string_view name;
+  int arity;              ///< number of fanins
+  double delay_ps;        ///< nominal propagation delay (DFF: clk-to-q)
+  bool combinational;     ///< participates in combinational evaluation
+};
+
+/// Lookup table of gate-kind properties.
+const GateKindInfo& info(GateKind kind);
+
+/// Evaluate the boolean function of a combinational gate kind.
+/// `in` must have exactly info(kind).arity entries.
+bool eval_gate(GateKind kind, std::span<const bool> in);
+
+/// Setup time budget of flip-flops / primary outputs, in picoseconds.
+inline constexpr double kSetupTimePs = 30.0;
+
+}  // namespace terrors::netlist

@@ -1,0 +1,100 @@
+// The netlist graph N of the paper (Section 3): vertices are gates, edges
+// are nets.  Flip-flops and I/O ports are "endpoints"; every timing path
+// starts at an endpoint output and ends at an endpoint input (Def. 3.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace terrors::netlist {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = 0xFFFFFFFFu;
+
+/// Control vs data endpoint classification (Section 4 of the paper): data
+/// endpoints hold operands / results / condition codes / addresses; control
+/// endpoints are everything else (PC, IR, decode, hazard, FSM state).
+enum class EndpointClass : std::uint8_t { kNone, kControl, kData };
+
+/// One gate instance.
+struct Gate {
+  GateKind kind = GateKind::kInput;
+  std::array<GateId, 3> fanin = {kNoGate, kNoGate, kNoGate};
+  std::uint8_t stage = 0;  ///< pipeline stage of this gate's logic cloud
+  EndpointClass endpoint_class = EndpointClass::kNone;
+  float x = 0.0f;  ///< placement, arbitrary die units (for spatial correlation)
+  float y = 0.0f;
+  float delay_ps = 0.0f;  ///< nominal propagation delay of this instance
+
+  [[nodiscard]] int arity() const { return info(kind).arity; }
+  [[nodiscard]] bool is_endpoint() const {
+    return kind == GateKind::kDff || kind == GateKind::kOutput || kind == GateKind::kInput;
+  }
+  /// Endpoints that *terminate* paths (capture data): DFFs and outputs.
+  [[nodiscard]] bool is_capture_endpoint() const {
+    return kind == GateKind::kDff || kind == GateKind::kOutput;
+  }
+};
+
+/// A gate-level netlist with pipeline-stage and placement annotations.
+class Netlist {
+ public:
+  /// Add a gate; fanins may be kNoGate and filled in later via set_fanin
+  /// (needed for sequential loops through DFFs).
+  GateId add(GateKind kind, std::array<GateId, 3> fanin = {kNoGate, kNoGate, kNoGate},
+             std::uint8_t stage = 0);
+
+  void set_fanin(GateId gate, int slot, GateId driver);
+  void set_endpoint_class(GateId gate, EndpointClass c);
+  void set_placement(GateId gate, float x, float y);
+  void set_name(GateId gate, std::string name);
+
+  [[nodiscard]] std::size_t size() const { return gates_.size(); }
+  [[nodiscard]] const Gate& gate(GateId id) const { return gates_[id]; }
+  [[nodiscard]] Gate& gate(GateId id) { return gates_[id]; }
+  [[nodiscard]] const std::string& name(GateId id) const;
+
+  /// Seal the netlist: verifies completeness (all fanins wired, DFF loops
+  /// only through DFFs), computes the combinational topological order and
+  /// fanout lists.  Must be called before simulation / timing analysis.
+  void finalize(std::uint8_t stage_count);
+
+  [[nodiscard]] bool finalized() const { return finalized_; }
+  [[nodiscard]] std::uint8_t stage_count() const { return stage_count_; }
+  /// Combinational gates in evaluation order.
+  [[nodiscard]] const std::vector<GateId>& topo_order() const;
+  [[nodiscard]] const std::vector<GateId>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<GateId>& dffs() const { return dffs_; }
+  [[nodiscard]] const std::vector<GateId>& outputs() const { return outputs_; }
+  /// E(N, s): capture endpoints of pipeline stage s.
+  [[nodiscard]] const std::vector<GateId>& stage_endpoints(std::uint8_t s) const;
+  [[nodiscard]] const std::vector<GateId>& fanout(GateId id) const;
+
+  /// Summary counters for reporting.
+  struct Stats {
+    std::size_t gates = 0;
+    std::size_t combinational = 0;
+    std::size_t dffs = 0;
+    std::size_t inputs = 0;
+    std::size_t outputs = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<std::string> names_;
+  std::vector<GateId> topo_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> dffs_;
+  std::vector<GateId> outputs_;
+  std::vector<std::vector<GateId>> stage_endpoints_;
+  std::vector<std::vector<GateId>> fanouts_;
+  std::uint8_t stage_count_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace terrors::netlist

@@ -1,0 +1,237 @@
+#include "netlist/pipeline.hpp"
+
+#include "support/check.hpp"
+
+namespace terrors::netlist {
+namespace {
+
+constexpr std::uint8_t kFe = 0;
+constexpr std::uint8_t kDe = 1;
+constexpr std::uint8_t kRa = 2;
+constexpr std::uint8_t kEx = 3;
+constexpr std::uint8_t kMe = 4;
+constexpr std::uint8_t kWb = 5;
+
+}  // namespace
+
+Pipeline build_pipeline(const PipelineConfig& config) {
+  TE_REQUIRE(config.width >= 8 && config.width <= 64, "datapath width out of range");
+  TE_REQUIRE(config.cloud_width > 0 && config.cloud_depth > 0, "bad cloud dimensions");
+  const int w = config.width;
+
+  NetlistBuilder b(support::Rng(config.seed));
+  b.set_delay_jitter(config.delay_jitter);
+  Pipeline p;
+  p.config = config;
+  PipelinePorts& ports = p.ports;
+  PipelineTaps& taps = p.taps;
+
+  // ---------------------------------------------------------------- FE --
+  b.begin_component(kFe, 0.5f, 0.8f);
+  taps.pc_reg = b.dff_word("pc", w, EndpointClass::kControl);
+  ports.branch_target = b.input_word("branch_target", w);
+  ports.branch_taken = b.input("branch_taken");
+  // PC + 4 ripple incrementer: the long control-network path whose
+  // activation depth depends on the PC value's carry chain.
+  auto pc_inc = b.ripple_adder(taps.pc_reg, b.constant_word(4, w));
+  Word next_pc = b.mux_word(pc_inc.sum, ports.branch_target, ports.branch_taken);
+  b.connect_word(taps.pc_reg, next_pc);
+
+  b.begin_component(kFe, 0.5f, 0.4f);
+  ports.instr = b.input_word("instr", w);
+  taps.ir_reg = b.dff_word("ir", w, EndpointClass::kControl);
+  b.connect_word(taps.ir_reg, ports.instr);
+
+  // Instruction-memory control cloud: consumes PC bits, drives FE state.
+  b.begin_component(kFe, 0.5f, 0.1f);
+  Word fe_cloud = b.random_cloud(taps.pc_reg, config.cloud_width, config.cloud_depth);
+  Word fe_state = b.dff_word("fe_state", config.ctrl_state_bits, EndpointClass::kControl);
+  for (std::size_t i = 0; i < fe_state.size(); ++i)
+    b.connect(fe_state[i], fe_cloud[i % fe_cloud.size()]);
+
+  // ---------------------------------------------------------------- DE --
+  // Decode cloud: IR + FE state -> decode control state.
+  b.begin_component(kDe, 1.5f, 0.15f);
+  Word de_in = taps.ir_reg;
+  de_in.insert(de_in.end(), fe_state.begin(), fe_state.end());
+  Word de_cloud = b.random_cloud(de_in, config.cloud_width, config.cloud_depth);
+  Word de_state = b.dff_word("de_state", config.ctrl_state_bits, EndpointClass::kControl);
+  for (std::size_t i = 0; i < de_state.size(); ++i)
+    b.connect(de_state[i], de_cloud[i % de_cloud.size()]);
+
+  // Immediate extraction: low half of IR, sign-extended through muxes.
+  b.begin_component(kDe, 1.5f, 0.45f);
+  Word imm_de;
+  imm_de.reserve(static_cast<std::size_t>(w));
+  const GateId sign = taps.ir_reg[static_cast<std::size_t>(w / 2 - 1)];
+  for (int i = 0; i < w; ++i) {
+    if (i < w / 2) {
+      imm_de.push_back(taps.ir_reg[static_cast<std::size_t>(i)]);
+    } else {
+      imm_de.push_back(b.gate(GateKind::kBuf, sign));
+    }
+  }
+  Word imm_de_reg = b.dff_word("imm_de", w, EndpointClass::kData);
+  b.connect_word(imm_de_reg, imm_de);
+
+  // Register-file read port: architectural read values enter as primary
+  // inputs and pass through a read-port mux layer gated by decode bits.
+  b.begin_component(kDe, 1.5f, 0.75f);
+  ports.op_a = b.input_word("rf_a", w);
+  ports.op_b = b.input_word("rf_b", w);
+  auto read_port = [&](const Word& val, const std::string& name) {
+    // Three mux levels emulate the read-port selection tree of a 32-entry
+    // register file; selects chosen so the value passes through unchanged.
+    const GateId zero = b.constant(false);
+    Word cur = val;
+    for (int lvl = 0; lvl < 3; ++lvl) {
+      Word other(static_cast<std::size_t>(w), zero);
+      cur = b.mux_word(other, cur, b.constant(true));
+    }
+    Word reg = b.dff_word(name, w, EndpointClass::kData);
+    b.connect_word(reg, cur);
+    return reg;
+  };
+  taps.op_a_reg = read_port(ports.op_a, "rf_a_reg");
+  taps.op_b_reg = read_port(ports.op_b, "rf_b_reg");
+
+  // ---------------------------------------------------------------- RA --
+  // Declared early because the bypass network forwards from EX / ME.
+  b.begin_component(kEx, 3.5f, 0.5f);
+  taps.ex_result_reg = b.dff_word("ex_result", w, EndpointClass::kData);
+  b.begin_component(kMe, 4.5f, 0.5f);
+  taps.me_result_reg = b.dff_word("me_result", w, EndpointClass::kData);
+
+  b.begin_component(kRa, 2.5f, 0.6f);
+  ports.bypass_a = b.input_word("bypass_a", 2);
+  ports.bypass_b = b.input_word("bypass_b", 2);
+  auto bypass = [&](const Word& reg_val, const Word& sel, const std::string& name) {
+    // 00: register value, 01: forward from EX, 1x: forward from ME.
+    Word lvl1 = b.mux_word(reg_val, taps.ex_result_reg, sel[0]);
+    Word lvl2 = b.mux_word(lvl1, taps.me_result_reg, sel[1]);
+    Word reg = b.dff_word(name, w, EndpointClass::kData);
+    b.connect_word(reg, lvl2);
+    return reg;
+  };
+  taps.ra_a_reg = bypass(taps.op_a_reg, ports.bypass_a, "ra_a");
+  taps.ra_b_reg = bypass(taps.op_b_reg, ports.bypass_b, "ra_b");
+
+  Word imm_ra_reg = b.dff_word("imm_ra", w, EndpointClass::kData);
+  b.connect_word(imm_ra_reg, imm_de_reg);
+
+  // Branch comparator + hazard cloud.
+  b.begin_component(kRa, 2.5f, 0.15f);
+  const GateId cmp_eq = b.equals(taps.op_a_reg, taps.op_b_reg);
+  Word ra_in = de_state;
+  ra_in.push_back(cmp_eq);
+  Word ra_cloud = b.random_cloud(ra_in, config.cloud_width, config.cloud_depth);
+  Word ra_state = b.dff_word("ra_state", config.ctrl_state_bits, EndpointClass::kControl);
+  for (std::size_t i = 0; i < ra_state.size(); ++i)
+    b.connect(ra_state[i], ra_cloud[i % ra_cloud.size()]);
+
+  // ---------------------------------------------------------------- EX --
+  b.begin_component(kEx, 3.5f, 0.75f);
+  ports.sel_imm = b.input("sel_imm");
+  ports.sub_mode = b.input("sub_mode");
+  ports.alu_sel = b.input_word("alu_sel", 2);
+  ports.logic_sel = b.input_word("logic_sel", 2);
+  ports.shift_dir = b.input("shift_dir");
+
+  Word opb_mux = b.mux_word(taps.ra_b_reg, imm_ra_reg, ports.sel_imm);
+  // Add / subtract: b XOR sub_mode with carry-in sub_mode.
+  Word sub_word(static_cast<std::size_t>(w), ports.sub_mode);
+  Word b_eff = b.xor_word(opb_mux, sub_word);
+  auto add = config.ex_adder == AdderKind::kCarrySelect
+                 ? b.carry_select_adder(taps.ra_a_reg, b_eff, 4, ports.sub_mode)
+                 : b.ripple_adder(taps.ra_a_reg, b_eff, ports.sub_mode);
+
+  b.begin_component(kEx, 3.5f, 0.45f);
+  Word and_out = b.and_word(taps.ra_a_reg, opb_mux);
+  Word or_out = b.or_word(taps.ra_a_reg, opb_mux);
+  Word xor_out = b.xor_word(taps.ra_a_reg, opb_mux);
+  Word nota_out = b.not_word(taps.ra_a_reg);
+  Word logic_out = b.mux_tree({and_out, or_out, xor_out, nota_out}, ports.logic_sel);
+
+  b.begin_component(kEx, 3.5f, 0.25f);
+  Word shamt(ports.alu_sel);  // placeholder width; real shift amount = low 5 bits of operand B
+  shamt.assign(opb_mux.begin(), opb_mux.begin() + 5);
+  Word shl = b.shift_left(taps.ra_a_reg, shamt);
+  Word shr = b.shift_right(taps.ra_a_reg, shamt);
+  Word shift_out = b.mux_word(shl, shr, ports.shift_dir);
+
+  Word alu_out = b.mux_tree({add.sum, logic_out, shift_out, opb_mux}, ports.alu_sel);
+  b.connect_word(taps.ex_result_reg, alu_out);
+
+  // Condition codes: N, Z, C, V (data endpoints per the paper).
+  b.begin_component(kEx, 3.5f, 0.08f);
+  const GateId cc_n = b.gate(GateKind::kBuf, alu_out.back());
+  const GateId cc_z = b.gate(GateKind::kInv, b.or_reduce(alu_out));
+  const GateId cc_c = b.gate(GateKind::kBuf, add.carry_out);
+  const GateId a_msb = taps.ra_a_reg.back();
+  const GateId b_msb = b_eff.back();
+  const GateId r_msb = add.sum.back();
+  // Signed overflow: carry into MSB != carry out of MSB, expressed through
+  // operand/result signs: V = (a == b) && (r != a).
+  const GateId same_in = b.gate(GateKind::kXnor2, a_msb, b_msb);
+  const GateId diff_out = b.gate(GateKind::kXor2, a_msb, r_msb);
+  const GateId cc_v = b.gate(GateKind::kAnd2, same_in, diff_out);
+  taps.cc_reg = {b.dff("cc_n", EndpointClass::kData), b.dff("cc_z", EndpointClass::kData),
+                 b.dff("cc_c", EndpointClass::kData), b.dff("cc_v", EndpointClass::kData)};
+  b.connect(taps.cc_reg[0], cc_n);
+  b.connect(taps.cc_reg[1], cc_z);
+  b.connect(taps.cc_reg[2], cc_c);
+  b.connect(taps.cc_reg[3], cc_v);
+
+  // Exception / trap cloud.
+  b.begin_component(kEx, 3.5f, 0.9f);
+  Word ex_in = ra_state;
+  ex_in.push_back(add.carry_out);
+  Word ex_cloud = b.random_cloud(ex_in, config.cloud_width, config.cloud_depth);
+  Word ex_state = b.dff_word("ex_state", config.ctrl_state_bits, EndpointClass::kControl);
+  for (std::size_t i = 0; i < ex_state.size(); ++i)
+    b.connect(ex_state[i], ex_cloud[i % ex_cloud.size()]);
+
+  // ---------------------------------------------------------------- ME --
+  b.begin_component(kMe, 4.5f, 0.8f);
+  taps.mem_addr_reg = b.dff_word("mem_addr", w, EndpointClass::kData);
+  b.connect_word(taps.mem_addr_reg, taps.ex_result_reg);
+
+  ports.mem_data = b.input_word("mem_data", w);
+  ports.mem_is_load = b.input("mem_is_load");
+  Word me_mux = b.mux_word(taps.ex_result_reg, ports.mem_data, ports.mem_is_load);
+  b.connect_word(taps.me_result_reg, me_mux);
+
+  b.begin_component(kMe, 4.5f, 0.15f);
+  Word me_in = ex_state;
+  me_in.push_back(ports.mem_is_load);
+  Word me_cloud = b.random_cloud(me_in, config.cloud_width, config.cloud_depth);
+  Word me_state = b.dff_word("me_state", config.ctrl_state_bits, EndpointClass::kControl);
+  for (std::size_t i = 0; i < me_state.size(); ++i)
+    b.connect(me_state[i], me_cloud[i % me_cloud.size()]);
+
+  // ---------------------------------------------------------------- WB --
+  b.begin_component(kWb, 5.5f, 0.6f);
+  taps.wb_result_reg = b.dff_word("wb_result", w, EndpointClass::kData);
+  // Writeback passes the ME result through a commit mux (pass-through
+  // select models the regfile write port enable).
+  Word wb_mux = b.mux_word(taps.me_result_reg, taps.me_result_reg, me_state[0]);
+  b.connect_word(taps.wb_result_reg, wb_mux);
+  for (int i = 0; i < w; i += 8)
+    b.output("commit[" + std::to_string(i) + "]", taps.wb_result_reg[static_cast<std::size_t>(i)],
+             EndpointClass::kData);
+
+  b.begin_component(kWb, 5.5f, 0.15f);
+  ports.ctrl_noise = b.input_word("ctrl_noise", 4);
+  Word wb_in = me_state;
+  wb_in.insert(wb_in.end(), ports.ctrl_noise.begin(), ports.ctrl_noise.end());
+  Word wb_cloud = b.random_cloud(wb_in, config.cloud_width, config.cloud_depth);
+  Word wb_state = b.dff_word("wb_state", config.ctrl_state_bits, EndpointClass::kControl);
+  for (std::size_t i = 0; i < wb_state.size(); ++i)
+    b.connect(wb_state[i], wb_cloud[i % wb_cloud.size()]);
+
+  p.netlist = std::move(b.netlist());
+  p.netlist.finalize(Pipeline::kStages);
+  return p;
+}
+
+}  // namespace terrors::netlist

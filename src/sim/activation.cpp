@@ -1,0 +1,33 @@
+#include "sim/activation.hpp"
+
+#include "support/check.hpp"
+
+namespace terrors::sim {
+
+ActivationTrace::ActivationTrace(std::size_t gate_count)
+    : gate_count_(gate_count), words_per_cycle_((gate_count + 63) / 64) {
+  TE_REQUIRE(gate_count > 0, "activation trace over an empty netlist");
+}
+
+void ActivationTrace::record(const std::vector<std::uint8_t>& flags) {
+  TE_REQUIRE(flags.size() == gate_count_, "activation flag size mismatch");
+  const std::size_t base = bits_.size();
+  bits_.resize(base + words_per_cycle_, 0);
+  for (std::size_t g = 0; g < gate_count_; ++g) {
+    if (flags[g] != 0) bits_[base + g / 64] |= (1ull << (g % 64));
+  }
+  ++cycles_;
+}
+
+void ActivationTrace::clear() {
+  bits_.clear();
+  cycles_ = 0;
+}
+
+bool ActivationTrace::activated(std::size_t t, netlist::GateId gate) const {
+  TE_REQUIRE(t < cycles_, "cycle out of range");
+  TE_REQUIRE(gate < gate_count_, "gate out of range");
+  return (bits_[t * words_per_cycle_ + gate / 64] >> (gate % 64)) & 1ull;
+}
+
+}  // namespace terrors::sim

@@ -1,0 +1,34 @@
+// Per-cycle activation traces: the in-memory equivalent of the paper's VCD
+// input to Algorithm 1 — VCD(t) is "the set of all activated gates in
+// cycle t" (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace terrors::sim {
+
+/// A windowed record of activation bitsets, one per recorded cycle.
+class ActivationTrace {
+ public:
+  explicit ActivationTrace(std::size_t gate_count);
+
+  /// Append the activation flags of one cycle (size must equal gate_count).
+  void record(const std::vector<std::uint8_t>& flags);
+  void clear();
+
+  [[nodiscard]] std::size_t cycles() const { return cycles_; }
+  [[nodiscard]] std::size_t gate_count() const { return gate_count_; }
+  /// VCD(t) membership query: was `gate` activated in recorded cycle t?
+  [[nodiscard]] bool activated(std::size_t t, netlist::GateId gate) const;
+
+ private:
+  std::size_t gate_count_;
+  std::size_t words_per_cycle_;
+  std::size_t cycles_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace terrors::sim

@@ -1,0 +1,116 @@
+#include "sim/logic_sim.hpp"
+
+#include "support/check.hpp"
+
+namespace terrors::sim {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+
+LogicSimulator::LogicSimulator(const netlist::Netlist& nl) : nl_(nl) {
+  TE_REQUIRE(nl.finalized(), "simulator needs a finalized netlist");
+  values_.assign(nl.size(), 0);
+  prev_values_.assign(nl.size(), 0);
+  pending_inputs_.assign(nl.size(), 0);
+  activated_.assign(nl.size(), 0);
+  reset();
+}
+
+void LogicSimulator::reset() {
+  std::fill(values_.begin(), values_.end(), 0);
+  std::fill(pending_inputs_.begin(), pending_inputs_.end(), 0);
+  std::fill(activated_.begin(), activated_.end(), 0);
+  cycle_ = 0;
+  settle();
+  prev_values_ = values_;
+}
+
+void LogicSimulator::set_input(GateId input, bool v) {
+  TE_REQUIRE(nl_.gate(input).kind == GateKind::kInput, "set_input on a non-input gate");
+  // Staged: the value takes effect in the cycle started by the next step(),
+  // so driving inputs never contaminates the previous cycle's settled state.
+  pending_inputs_[input] = v ? 1 : 0;
+}
+
+void LogicSimulator::set_input_word(const std::vector<GateId>& word, std::uint64_t v) {
+  TE_REQUIRE(word.size() <= 64, "input word too wide");
+  for (std::size_t i = 0; i < word.size(); ++i) set_input(word[i], ((v >> i) & 1ull) != 0);
+}
+
+std::uint64_t LogicSimulator::value_word(const std::vector<GateId>& word) const {
+  TE_REQUIRE(word.size() <= 64, "word too wide");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < word.size(); ++i)
+    if (value(word[i])) v |= (1ull << i);
+  return v;
+}
+
+void LogicSimulator::force_state(GateId dff, bool v) {
+  TE_REQUIRE(nl_.gate(dff).kind == GateKind::kDff, "force_state on a non-DFF gate");
+  values_[dff] = v ? 1 : 0;
+}
+
+void LogicSimulator::settle() {
+  for (GateId id : nl_.topo_order()) {
+    const Gate& g = nl_.gate(id);
+    bool v = false;
+    switch (g.kind) {
+      case GateKind::kBuf:
+        v = values_[g.fanin[0]] != 0;
+        break;
+      case GateKind::kInv:
+        v = values_[g.fanin[0]] == 0;
+        break;
+      case GateKind::kAnd2:
+        v = values_[g.fanin[0]] != 0 && values_[g.fanin[1]] != 0;
+        break;
+      case GateKind::kNand2:
+        v = !(values_[g.fanin[0]] != 0 && values_[g.fanin[1]] != 0);
+        break;
+      case GateKind::kOr2:
+        v = values_[g.fanin[0]] != 0 || values_[g.fanin[1]] != 0;
+        break;
+      case GateKind::kNor2:
+        v = !(values_[g.fanin[0]] != 0 || values_[g.fanin[1]] != 0);
+        break;
+      case GateKind::kXor2:
+        v = (values_[g.fanin[0]] != 0) != (values_[g.fanin[1]] != 0);
+        break;
+      case GateKind::kXnor2:
+        v = (values_[g.fanin[0]] != 0) == (values_[g.fanin[1]] != 0);
+        break;
+      case GateKind::kMux2:
+        v = values_[g.fanin[2]] != 0 ? values_[g.fanin[1]] != 0 : values_[g.fanin[0]] != 0;
+        break;
+      default:
+        TE_CHECK(false, "non-combinational gate in topo order");
+    }
+    values_[id] = v ? 1 : 0;
+  }
+  // Primary outputs mirror their driver.
+  for (GateId id : nl_.outputs()) values_[id] = values_[nl_.gate(id).fanin[0]];
+  // Constants.
+  for (GateId id = 0; id < nl_.size(); ++id) {
+    const GateKind k = nl_.gate(id).kind;
+    if (k == GateKind::kConst1) values_[id] = 1;
+    if (k == GateKind::kConst0) values_[id] = 0;
+  }
+}
+
+void LogicSimulator::step() {
+  // 1. Remember the previous cycle's settled values (activation baseline).
+  prev_values_ = values_;
+  // 2. Flip-flops capture their data input's previous settled value.
+  for (GateId id : nl_.dffs()) values_[id] = prev_values_[nl_.gate(id).fanin[0]];
+  // 3. Primary inputs take their newly driven values.
+  for (GateId id : nl_.inputs()) values_[id] = pending_inputs_[id];
+  // 4. Combinational logic settles.
+  settle();
+  // 5. Activation per Def. 3.2.
+  for (GateId id = 0; id < nl_.size(); ++id)
+    activated_[id] = values_[id] != prev_values_[id] ? 1 : 0;
+  ++cycle_;
+}
+
+}  // namespace terrors::sim

@@ -1,0 +1,61 @@
+// Levelised two-value gate-level logic simulation.
+//
+// The simulator realises Definition 3.2 of the paper: a gate is *activated*
+// in a clock cycle iff, were the clock period sufficiently long, its output
+// would eventually change.  On a glitch-free zero-delay abstraction this is
+// exactly "the settled output value in cycle t differs from cycle t-1".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace terrors::sim {
+
+class LogicSimulator {
+ public:
+  explicit LogicSimulator(const netlist::Netlist& nl);
+
+  /// Reset all state, inputs, and history to 0 and settle.
+  void reset();
+
+  /// Drive a primary input for the upcoming cycle.
+  void set_input(netlist::GateId input, bool value);
+  /// Drive a word (little-endian) of primary inputs.
+  void set_input_word(const std::vector<netlist::GateId>& word, std::uint64_t value);
+
+  /// Advance one clock cycle: flip-flops capture the previous cycle's
+  /// settled D values, then combinational logic settles with the currently
+  /// driven inputs.  Activation flags are recomputed.
+  void step();
+
+  /// Settled value of a gate's output in the current cycle.
+  [[nodiscard]] bool value(netlist::GateId g) const { return values_[g] != 0; }
+  /// Read a word (little-endian) of settled values.
+  [[nodiscard]] std::uint64_t value_word(const std::vector<netlist::GateId>& word) const;
+  /// Whether the gate was activated in the current cycle (Def. 3.2).
+  [[nodiscard]] bool activated(netlist::GateId g) const { return activated_[g] != 0; }
+  /// Dense activation flags, indexed by gate id.
+  [[nodiscard]] const std::vector<std::uint8_t>& activation_flags() const { return activated_; }
+  /// Cycles elapsed since reset.
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+  /// Force a flip-flop's current output (used to model error-correction
+  /// induced state, e.g. a flushed pipeline).
+  void force_state(netlist::GateId dff, bool value);
+
+  [[nodiscard]] const netlist::Netlist& nl() const { return nl_; }
+
+ private:
+  void settle();
+
+  const netlist::Netlist& nl_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint8_t> prev_values_;
+  std::vector<std::uint8_t> pending_inputs_;  ///< staged until the next step()
+  std::vector<std::uint8_t> activated_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace terrors::sim

@@ -1,0 +1,36 @@
+// Minimal VCD (value change dump) text writer, for exporting simulation
+// traces in the industry format the paper's flow consumes (Figure 1).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/logic_sim.hpp"
+
+namespace terrors::sim {
+
+/// Streams a VCD file for a selected set of nets.  Usage:
+///   VcdWriter vcd(out, nl, watched);
+///   loop { sim.step(); vcd.sample(sim); }
+class VcdWriter {
+ public:
+  /// `watched` lists the gate ids to dump; names come from the netlist.
+  VcdWriter(std::ostream& out, const netlist::Netlist& nl, std::vector<netlist::GateId> watched,
+            std::string timescale = "1ps", double period_ps = 1000.0);
+
+  /// Emit value changes for the simulator's current cycle.
+  void sample(const LogicSimulator& sim);
+
+ private:
+  static std::string identifier(std::size_t index);
+
+  std::ostream& out_;
+  std::vector<netlist::GateId> watched_;
+  std::vector<int> last_;  // -1 = not yet dumped
+  double period_ps_;
+  std::uint64_t sample_index_ = 0;
+};
+
+}  // namespace terrors::sim

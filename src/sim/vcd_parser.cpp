@@ -1,0 +1,117 @@
+#include "sim/vcd_parser.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/check.hpp"
+
+namespace terrors::sim {
+
+bool VcdDump::value(std::size_t t, std::size_t s) const {
+  TE_REQUIRE(t < samples_.size(), "sample index out of range");
+  TE_REQUIRE(s < signals_.size(), "signal index out of range");
+  return samples_[t][s] != 0;
+}
+
+bool VcdDump::changed(std::size_t t, std::size_t s) const {
+  TE_REQUIRE(t < samples_.size(), "sample index out of range");
+  if (t == 0) return false;  // no pre-dump baseline
+  return samples_[t][s] != samples_[t - 1][s];
+}
+
+std::ptrdiff_t VcdDump::signal_index(const std::string& name) const {
+  for (std::size_t i = 0; i < signals_.size(); ++i) {
+    if (signals_[i].name == name) return static_cast<std::ptrdiff_t>(i);
+  }
+  return -1;
+}
+
+VcdParser::VcdParser(double period_ps) : period_ps_(period_ps) {
+  TE_REQUIRE(period_ps > 0.0, "sampling period must be positive");
+}
+
+VcdDump VcdParser::parse(std::istream& in) const {
+  VcdDump dump;
+  std::unordered_map<std::string, std::size_t> by_id;
+
+  // --- header ---------------------------------------------------------------
+  std::string tok;
+  bool definitions_done = false;
+  while (!definitions_done && in >> tok) {
+    if (tok == "$var") {
+      std::string type;
+      int width = 0;
+      std::string id;
+      std::string name;
+      in >> type >> width >> id >> name;
+      // Consume everything up to $end (names may carry [ranges]).
+      std::string rest;
+      while (in >> rest && rest != "$end") name += rest == "$end" ? "" : rest;
+      TE_REQUIRE(width >= 1, "bad $var width");
+      by_id.emplace(id, dump.signals_.size());
+      dump.signals_.push_back({id, name, width});
+    } else if (tok == "$enddefinitions") {
+      std::string end;
+      in >> end;
+      TE_REQUIRE(end == "$end", "malformed $enddefinitions");
+      definitions_done = true;
+    } else if (tok[0] == '$') {
+      // Skip other header sections ($date, $version, $timescale, $scope...).
+      if (tok != "$end") {
+        std::string skip;
+        while (in >> skip && skip != "$end") {
+        }
+      }
+    } else {
+      TE_REQUIRE(false, "unexpected token before $enddefinitions: " + tok);
+    }
+  }
+  TE_REQUIRE(definitions_done, "VCD stream has no $enddefinitions");
+  TE_REQUIRE(!dump.signals_.empty(), "VCD stream declares no signals");
+
+  // --- value changes ----------------------------------------------------------
+  std::vector<std::uint8_t> current(dump.signals_.size(), 0);
+  double sample_edge = period_ps_;  // next sampling boundary
+  bool any_time = false;
+
+  auto close_samples_until = [&](double time_ps) {
+    while (time_ps >= sample_edge) {
+      dump.samples_.push_back(current);
+      sample_edge += period_ps_;
+    }
+  };
+
+  while (in >> tok) {
+    if (tok[0] == '#') {
+      const double t = std::stod(tok.substr(1));
+      close_samples_until(t);
+      any_time = true;
+    } else if (tok == "$dumpvars" || tok == "$end" || tok == "$dumpall" || tok == "$dumpon" ||
+               tok == "$dumpoff") {
+      continue;
+    } else if (tok[0] == '0' || tok[0] == '1' || tok[0] == 'x' || tok[0] == 'z' ||
+               tok[0] == 'X' || tok[0] == 'Z') {
+      const std::string id = tok.substr(1);
+      auto it = by_id.find(id);
+      TE_REQUIRE(it != by_id.end(), "value change for undeclared identifier: " + id);
+      // x/z conservatively map to 0.
+      current[it->second] = tok[0] == '1' ? 1 : 0;
+    } else if (tok[0] == 'b' || tok[0] == 'B') {
+      // Vector change: bWIDTHBITS identifier.
+      std::string id;
+      in >> id;
+      auto it = by_id.find(id);
+      TE_REQUIRE(it != by_id.end(), "vector change for undeclared identifier: " + id);
+      // Scalar projection: LSB.
+      const char lsb = tok.back();
+      current[it->second] = lsb == '1' ? 1 : 0;
+    } else {
+      TE_REQUIRE(false, "unexpected token in value-change section: " + tok);
+    }
+  }
+  // Close the final (possibly partial) sample.
+  if (any_time || !dump.samples_.empty()) dump.samples_.push_back(current);
+  return dump;
+}
+
+}  // namespace terrors::sim

@@ -1,0 +1,61 @@
+// Minimal VCD (value change dump) parser: the inverse of VcdWriter.
+//
+// The paper's Figure 1 flow feeds Algorithm 1 from an RTL simulator's VCD;
+// this parser lets the DTA layer consume dumps produced by an external
+// simulator (or by our own writer) instead of the in-process logic
+// simulator.  Supported subset: $timescale/$var/$enddefinitions headers,
+// scalar (1-bit) value changes, #timestamp records, $dumpvars sections.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace terrors::sim {
+
+struct VcdSignal {
+  std::string identifier;  ///< short ASCII id code
+  std::string name;        ///< declared wire name
+  int width = 1;
+};
+
+/// A parsed dump: signal table plus per-sample values, sampled at
+/// multiples of the given clock period (value changes between samples
+/// resolve to the last write).
+class VcdDump {
+ public:
+  [[nodiscard]] const std::vector<VcdSignal>& signals() const { return signals_; }
+  [[nodiscard]] std::size_t sample_count() const { return samples_.size(); }
+  /// Value of signal `s` (index into signals()) at sample t.
+  [[nodiscard]] bool value(std::size_t t, std::size_t s) const;
+  /// Was the signal's sampled value different from the previous sample?
+  /// (Def. 3.2 activation on the sampled abstraction; t = 0 compares
+  /// against the initial dumpvars values.)
+  [[nodiscard]] bool changed(std::size_t t, std::size_t s) const;
+  /// Index of a signal by declared name; -1 if absent.
+  [[nodiscard]] std::ptrdiff_t signal_index(const std::string& name) const;
+
+ private:
+  friend class VcdParser;
+  std::vector<VcdSignal> signals_;
+  std::vector<std::vector<std::uint8_t>> samples_;  ///< [t][signal]
+};
+
+/// Streaming parser.  `period_ps` defines the sampling grid: a sample
+/// closes whenever a #timestamp crosses the next multiple of the period.
+class VcdParser {
+ public:
+  explicit VcdParser(double period_ps);
+
+  /// Parse an entire stream.  Throws std::invalid_argument on malformed
+  /// input (unknown identifier codes, missing $enddefinitions, vector
+  /// changes for undeclared widths).
+  [[nodiscard]] VcdDump parse(std::istream& in) const;
+
+ private:
+  double period_ps_;
+};
+
+}  // namespace terrors::sim

@@ -1,0 +1,107 @@
+#include "stat/discrete.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/check.hpp"
+
+namespace terrors::stat {
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> values,
+                                           std::vector<double> weights)
+    : values_(std::move(values)), weights_(std::move(weights)) {
+  TE_REQUIRE(values_.size() == weights_.size(), "values/weights size mismatch");
+  TE_REQUIRE(!values_.empty(), "empty discrete distribution");
+  double total = 0.0;
+  for (double w : weights_) {
+    TE_REQUIRE(w >= 0.0, "negative probability weight");
+    total += w;
+  }
+  TE_REQUIRE(total > 0.0, "all weights zero");
+  for (double& w : weights_) w /= total;
+  // Keep support sorted for a well-defined CDF.
+  std::vector<std::size_t> order(values_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values_[a] < values_[b]; });
+  std::vector<double> v(values_.size());
+  std::vector<double> w(values_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    v[i] = values_[order[i]];
+    w[i] = weights_[order[i]];
+  }
+  values_ = std::move(v);
+  weights_ = std::move(w);
+}
+
+DiscreteDistribution DiscreteDistribution::from_samples(const Samples& s) {
+  TE_REQUIRE(!s.empty(), "from_samples with empty sample vector");
+  return DiscreteDistribution(s.values(),
+                              std::vector<double>(s.size(), 1.0 / static_cast<double>(s.size())));
+}
+
+DiscreteDistribution DiscreteDistribution::point(double v) {
+  return DiscreteDistribution({v}, {1.0});
+}
+
+double DiscreteDistribution::mean() const { return raw_moment(1); }
+
+double DiscreteDistribution::variance() const {
+  const double m = mean();
+  return std::max(0.0, raw_moment(2) - m * m);
+}
+
+double DiscreteDistribution::stddev() const { return std::sqrt(variance()); }
+
+double DiscreteDistribution::raw_moment(int k) const {
+  TE_REQUIRE(k >= 0, "negative moment order");
+  double s = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) s += weights_[i] * std::pow(values_[i], k);
+  return s;
+}
+
+double DiscreteDistribution::central_moment(int k) const {
+  TE_REQUIRE(k >= 0, "negative moment order");
+  const double m = mean();
+  double s = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i)
+    s += weights_[i] * std::pow(values_[i] - m, k);
+  return s;
+}
+
+double DiscreteDistribution::abs_central_moment3() const {
+  const double m = mean();
+  double s = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double d = std::fabs(values_[i] - m);
+    s += weights_[i] * d * d * d;
+  }
+  return s;
+}
+
+double DiscreteDistribution::cdf(double x) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < values_.size() && values_[i] <= x; ++i) s += weights_[i];
+  return s;
+}
+
+DiscreteDistribution DiscreteDistribution::compacted(double tol) const {
+  TE_REQUIRE(tol >= 0.0, "negative tolerance");
+  std::vector<double> v;
+  std::vector<double> w;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (!v.empty() && values_[i] - v.back() <= tol) {
+      // Merge into previous bucket, keeping the probability-weighted mean.
+      const double wt = w.back() + weights_[i];
+      v.back() = (v.back() * w.back() + values_[i] * weights_[i]) / wt;
+      w.back() = wt;
+    } else {
+      v.push_back(values_[i]);
+      w.push_back(weights_[i]);
+    }
+  }
+  return DiscreteDistribution(std::move(v), std::move(w));
+}
+
+}  // namespace terrors::stat

@@ -1,0 +1,47 @@
+// Discrete (finite-support) probability distributions: the paper's
+// "error probability distributions represented as discrete random
+// variables" whose third and fourth moments feed the Stein bound.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stat/samples.hpp"
+
+namespace terrors::stat {
+
+/// A finite-support distribution: value v_i with probability w_i.
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution() = default;
+  /// Weights must be non-negative and not all zero; they are normalised.
+  DiscreteDistribution(std::vector<double> values, std::vector<double> weights);
+  /// Uniform distribution over sample points.
+  static DiscreteDistribution from_samples(const Samples& s);
+  /// Point mass.
+  static DiscreteDistribution point(double v);
+
+  [[nodiscard]] std::size_t support_size() const { return values_.size(); }
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+  [[nodiscard]] const std::vector<double>& weights() const { return weights_; }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Raw moment E[X^k].
+  [[nodiscard]] double raw_moment(int k) const;
+  /// Central moment E[(X-EX)^k].
+  [[nodiscard]] double central_moment(int k) const;
+  /// E|X - EX|^3.
+  [[nodiscard]] double abs_central_moment3() const;
+  /// CDF Pr(X <= x).
+  [[nodiscard]] double cdf(double x) const;
+  /// Collapse nearly-equal support points (tolerance on value axis).
+  [[nodiscard]] DiscreteDistribution compacted(double tol) const;
+
+ private:
+  std::vector<double> values_;
+  std::vector<double> weights_;
+};
+
+}  // namespace terrors::stat

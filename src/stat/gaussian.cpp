@@ -1,0 +1,28 @@
+#include "stat/gaussian.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/math.hpp"
+
+namespace terrors::stat {
+
+double Gaussian::cdf(double x) const {
+  TE_REQUIRE(sd >= 0.0, "Gaussian with negative sd");
+  if (sd == 0.0) return x >= mean ? 1.0 : 0.0;
+  return support::normal_cdf((x - mean) / sd);
+}
+
+double Gaussian::quantile(double p) const {
+  TE_REQUIRE(sd >= 0.0, "Gaussian with negative sd");
+  if (sd == 0.0) return mean;
+  return mean + sd * support::normal_quantile(p);
+}
+
+Gaussian sum(const Gaussian& a, const Gaussian& b, double cov) {
+  const double var = a.variance() + b.variance() + 2.0 * cov;
+  TE_REQUIRE(var >= -1e-12, "sum of Gaussians with impossible covariance");
+  return {a.mean + b.mean, std::sqrt(var < 0.0 ? 0.0 : var)};
+}
+
+}  // namespace terrors::stat

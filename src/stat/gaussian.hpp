@@ -1,0 +1,28 @@
+// A Gaussian random variable, the basic currency of SSTA: under process
+// variation every timing slack is (approximately) normal.
+#pragma once
+
+namespace terrors::stat {
+
+/// Normal distribution N(mean, sd^2); sd >= 0 (sd == 0 is a point mass).
+struct Gaussian {
+  double mean = 0.0;
+  double sd = 0.0;
+
+  [[nodiscard]] double variance() const { return sd * sd; }
+  /// Pr(X <= x).
+  [[nodiscard]] double cdf(double x) const;
+  /// Pr(X < 0): the probability a slack variable is violated.
+  [[nodiscard]] double prob_below_zero() const { return cdf(0.0); }
+  /// Quantile (inverse CDF); p in (0, 1).
+  [[nodiscard]] double quantile(double p) const;
+  /// Shift by a constant.
+  [[nodiscard]] Gaussian shifted(double delta) const { return {mean + delta, sd}; }
+
+  friend bool operator==(const Gaussian&, const Gaussian&) = default;
+};
+
+/// Sum of two jointly normal variables with covariance cov.
+Gaussian sum(const Gaussian& a, const Gaussian& b, double cov);
+
+}  // namespace terrors::stat

@@ -1,0 +1,53 @@
+#include "stat/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace terrors::stat {
+
+double kolmogorov_distance(const std::function<double(double)>& f,
+                           const std::function<double(double)>& g,
+                           const std::vector<double>& grid) {
+  TE_REQUIRE(!grid.empty(), "empty evaluation grid");
+  double d = 0.0;
+  for (double x : grid) d = std::max(d, std::fabs(f(x) - g(x)));
+  return d;
+}
+
+double kolmogorov_distance_integer(const std::function<double(std::int64_t)>& f,
+                                   const std::function<double(std::int64_t)>& g, std::int64_t lo,
+                                   std::int64_t hi) {
+  TE_REQUIRE(lo <= hi, "inverted integer range");
+  double d = 0.0;
+  for (std::int64_t k = lo; k <= hi; ++k) d = std::max(d, std::fabs(f(k) - g(k)));
+  return d;
+}
+
+double ks_statistic(std::vector<double> a, std::vector<double> b) {
+  TE_REQUIRE(!a.empty() && !b.empty(), "empty sample in KS statistic");
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double d = 0.0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] <= x) ++i;
+    while (j < b.size() && b[j] <= x) ++j;
+    d = std::max(d, std::fabs(static_cast<double>(i) / na - static_cast<double>(j) / nb));
+  }
+  return d;
+}
+
+double total_variation(const std::vector<double>& p, const std::vector<double>& q) {
+  TE_REQUIRE(p.size() == q.size(), "pmf size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) s += std::fabs(p[i] - q[i]);
+  return 0.5 * s;
+}
+
+}  // namespace terrors::stat

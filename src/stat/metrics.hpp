@@ -1,0 +1,29 @@
+// Probability metrics: the Kolmogorov metric (maximum CDF distance) and the
+// total variation distance, as used in Theorems 5.1/5.2 and Table 2.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace terrors::stat {
+
+/// Kolmogorov distance sup_x |F(x) - G(x)| between two CDFs evaluated on a
+/// shared grid of points.
+double kolmogorov_distance(const std::function<double(double)>& f,
+                           const std::function<double(double)>& g,
+                           const std::vector<double>& grid);
+
+/// Kolmogorov distance between integer-valued CDFs over [lo, hi].
+double kolmogorov_distance_integer(const std::function<double(std::int64_t)>& f,
+                                   const std::function<double(std::int64_t)>& g, std::int64_t lo,
+                                   std::int64_t hi);
+
+/// Two-sample Kolmogorov–Smirnov statistic between empirical samples.
+double ks_statistic(std::vector<double> a, std::vector<double> b);
+
+/// Total variation distance 0.5 * sum |p_i - q_i| between two pmfs over the
+/// same index set (vectors must have equal length).
+double total_variation(const std::vector<double>& p, const std::vector<double>& q);
+
+}  // namespace terrors::stat

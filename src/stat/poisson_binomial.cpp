@@ -1,0 +1,53 @@
+#include "stat/poisson_binomial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/math.hpp"
+
+namespace terrors::stat {
+
+PoissonBinomial::PoissonBinomial(const std::vector<double>& probabilities)
+    : n_(probabilities.size()) {
+  TE_REQUIRE(!probabilities.empty(), "empty indicator set");
+  pmf_.assign(n_ + 1, 0.0);
+  pmf_[0] = 1.0;
+  std::size_t upper = 0;  // highest index with nonzero mass so far
+  for (double p : probabilities) {
+    TE_REQUIRE(p >= 0.0 && p <= 1.0, "indicator probability out of range");
+    mean_ += p;
+    var_ += p * (1.0 - p);
+    // In-place convolution with {1-p, p}, high to low.
+    ++upper;
+    for (std::size_t k = std::min(upper, n_); k-- > 0;) {
+      pmf_[k + 1] += pmf_[k] * p;
+      pmf_[k] *= (1.0 - p);
+    }
+  }
+}
+
+double PoissonBinomial::pmf(std::size_t k) const {
+  TE_REQUIRE(k <= n_, "count out of range");
+  return pmf_[k];
+}
+
+double PoissonBinomial::cdf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  const auto kk = std::min<std::size_t>(static_cast<std::size_t>(k), n_);
+  double s = 0.0;
+  for (std::size_t i = 0; i <= kk; ++i) s += pmf_[i];
+  return std::min(1.0, s);
+}
+
+double PoissonBinomial::dk_to_poisson() const {
+  double d = 0.0;
+  double acc = 0.0;
+  for (std::size_t k = 0; k <= n_; ++k) {
+    acc += pmf_[k];
+    d = std::max(d, std::fabs(acc - support::poisson_cdf(static_cast<std::int64_t>(k), mean_)));
+  }
+  return d;
+}
+
+}  // namespace terrors::stat

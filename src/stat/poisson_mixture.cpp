@@ -1,0 +1,102 @@
+#include "stat/poisson_mixture.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+#include "support/math.hpp"
+
+namespace terrors::stat {
+
+void gauss_legendre(int n, double a, double b, std::vector<double>& nodes,
+                    std::vector<double>& weights) {
+  TE_REQUIRE(n >= 1, "quadrature needs at least one node");
+  TE_REQUIRE(a <= b, "inverted quadrature interval");
+  nodes.assign(static_cast<std::size_t>(n), 0.0);
+  weights.assign(static_cast<std::size_t>(n), 0.0);
+  // Newton iteration on Legendre polynomials; standard Numerical-Recipes
+  // style construction on [-1, 1], then affine map to [a, b].
+  const int m = (n + 1) / 2;
+  for (int i = 0; i < m; ++i) {
+    double x = std::cos(M_PI * (static_cast<double>(i) + 0.75) / (static_cast<double>(n) + 0.5));
+    double pp = 0.0;
+    for (int iter = 0; iter < 100; ++iter) {
+      double p0 = 1.0;
+      double p1 = 0.0;
+      for (int j = 0; j < n; ++j) {
+        const double p2 = p1;
+        p1 = p0;
+        p0 = ((2.0 * j + 1.0) * x * p1 - j * p2) / (j + 1.0);
+      }
+      pp = static_cast<double>(n) * (x * p0 - p1) / (x * x - 1.0);
+      const double dx = p0 / pp;
+      x -= dx;
+      if (std::fabs(dx) < 1e-15) break;
+    }
+    const double xl = 0.5 * (b - a);
+    const double xm = 0.5 * (b + a);
+    nodes[static_cast<std::size_t>(i)] = xm - xl * x;
+    nodes[static_cast<std::size_t>(n - 1 - i)] = xm + xl * x;
+    const double w = 2.0 * xl / ((1.0 - x * x) * pp * pp);
+    weights[static_cast<std::size_t>(i)] = w;
+    weights[static_cast<std::size_t>(n - 1 - i)] = w;
+  }
+}
+
+PoissonMixture::PoissonMixture(Gaussian lambda, int nodes) : lambda_(lambda) {
+  TE_REQUIRE(lambda.mean >= 0.0, "Poisson rate mean must be non-negative");
+  TE_REQUIRE(nodes >= 1, "need at least one quadrature node");
+  if (lambda.sd == 0.0) {
+    nodes_ = {lambda.mean};
+    weights_ = {1.0};
+    return;
+  }
+  const double lo = std::max(0.0, lambda.mean - 8.0 * lambda.sd);
+  const double hi = lambda.mean + 8.0 * lambda.sd;
+  std::vector<double> x;
+  std::vector<double> w;
+  gauss_legendre(nodes, lo, hi, x, w);
+  double total = 0.0;
+  nodes_.reserve(x.size());
+  weights_.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double p = w[i] * support::normal_pdf((x[i] - lambda.mean) / lambda.sd) / lambda.sd;
+    nodes_.push_back(x[i]);
+    weights_.push_back(p);
+    total += p;
+  }
+  TE_CHECK(total > 0.0, "degenerate quadrature weights");
+  for (double& p : weights_) p /= total;
+}
+
+double PoissonMixture::cdf(std::int64_t k) const {
+  if (k < 0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    s += weights_[i] * support::poisson_cdf(k, nodes_[i]);
+  return support::clamp(s, 0.0, 1.0);
+}
+
+double PoissonMixture::variance() const { return lambda_.mean + lambda_.variance(); }
+
+std::int64_t PoissonMixture::quantile(double p) const {
+  TE_REQUIRE(p > 0.0 && p < 1.0, "quantile probability out of range");
+  // Bracket around the mean using the mixture's normal approximation, then
+  // binary search on the integer line.
+  const double sd = std::sqrt(std::max(1.0, variance()));
+  std::int64_t lo = static_cast<std::int64_t>(std::floor(mean() - 12.0 * sd)) - 1;
+  std::int64_t hi = static_cast<std::int64_t>(std::ceil(mean() + 12.0 * sd)) + 1;
+  lo = std::max<std::int64_t>(lo, -1);
+  while (cdf(hi) < p) hi *= 2;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (cdf(mid) >= p) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+}  // namespace terrors::stat

@@ -1,0 +1,46 @@
+// Equation (14) of the paper: the estimated CDF of the program error count
+// is a Poisson CDF integrated over the (approximately normal) distribution
+// of its parameter lambda:
+//
+//   Nbar_E(k) = integral  e^{-lambda(x)} sum_{i<=k} lambda(x)^i / i!  dx
+//
+// We evaluate the mixture with Gauss–Legendre quadrature over the
+// +-8 sigma range of the Gaussian lambda, truncated at 0 (a Poisson rate
+// cannot be negative; the truncated mass is renormalised and is negligible
+// for all practical operating points).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stat/gaussian.hpp"
+
+namespace terrors::stat {
+
+/// Poisson distribution whose rate is itself Gaussian-distributed.
+class PoissonMixture {
+ public:
+  /// nodes: quadrature resolution (defaults balance speed and accuracy).
+  explicit PoissonMixture(Gaussian lambda, int nodes = 64);
+
+  [[nodiscard]] const Gaussian& lambda() const { return lambda_; }
+  /// Pr(N <= k) per Eq. 14.
+  [[nodiscard]] double cdf(std::int64_t k) const;
+  /// Mixture mean E[N] = E[lambda].
+  [[nodiscard]] double mean() const { return lambda_.mean; }
+  /// Mixture variance Var(N) = E[lambda] + Var(lambda).
+  [[nodiscard]] double variance() const;
+  /// Quantile by bisection on the integer line; p in (0,1).
+  [[nodiscard]] std::int64_t quantile(double p) const;
+
+ private:
+  Gaussian lambda_;
+  std::vector<double> nodes_;    // lambda values
+  std::vector<double> weights_;  // normalised probability weights
+};
+
+/// Nodes/weights of n-point Gauss–Legendre quadrature on [a, b].
+void gauss_legendre(int n, double a, double b, std::vector<double>& nodes,
+                    std::vector<double>& weights);
+
+}  // namespace terrors::stat

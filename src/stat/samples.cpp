@@ -1,0 +1,129 @@
+#include "stat/samples.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace terrors::stat {
+namespace {
+
+void require_same_size(const Samples& a, const Samples& b) {
+  TE_REQUIRE(a.size() == b.size(), "sample vectors must share the same input set");
+}
+
+}  // namespace
+
+double Samples::mean() const {
+  if (v_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v_) s += x;
+  return s / static_cast<double>(v_.size());
+}
+
+double Samples::variance() const {
+  if (v_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : v_) s += (x - m) * (x - m);
+  return s / static_cast<double>(v_.size());
+}
+
+double Samples::stddev() const { return std::sqrt(variance()); }
+
+double Samples::min() const {
+  TE_REQUIRE(!v_.empty(), "min of empty samples");
+  return *std::min_element(v_.begin(), v_.end());
+}
+
+double Samples::max() const {
+  TE_REQUIRE(!v_.empty(), "max of empty samples");
+  return *std::max_element(v_.begin(), v_.end());
+}
+
+double Samples::abs_central_moment3() const {
+  if (v_.empty()) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : v_) {
+    const double d = std::fabs(x - m);
+    s += d * d * d;
+  }
+  return s / static_cast<double>(v_.size());
+}
+
+double Samples::central_moment4() const {
+  if (v_.empty()) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : v_) {
+    const double d = x - m;
+    s += d * d * d * d;
+  }
+  return s / static_cast<double>(v_.size());
+}
+
+double Samples::worst_case(double k_sigma) const { return mean() + k_sigma * stddev(); }
+
+double Samples::quantile(double p) const {
+  TE_REQUIRE(!v_.empty(), "quantile of empty samples");
+  TE_REQUIRE(p >= 0.0 && p <= 1.0, "quantile probability out of range");
+  std::vector<double> sorted = v_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                       std::floor(p * static_cast<double>(sorted.size()))));
+  return sorted[idx];
+}
+
+Samples Samples::map(const std::function<double(double)>& f) const {
+  Samples out(*this);
+  for (double& x : out.v_) x = f(x);
+  return out;
+}
+
+Samples& Samples::operator+=(const Samples& o) {
+  require_same_size(*this, o);
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] += o.v_[i];
+  return *this;
+}
+
+Samples& Samples::operator-=(const Samples& o) {
+  require_same_size(*this, o);
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] -= o.v_[i];
+  return *this;
+}
+
+Samples& Samples::operator*=(const Samples& o) {
+  require_same_size(*this, o);
+  for (std::size_t i = 0; i < v_.size(); ++i) v_[i] *= o.v_[i];
+  return *this;
+}
+
+Samples& Samples::operator+=(double c) {
+  for (double& x : v_) x += c;
+  return *this;
+}
+
+Samples& Samples::operator*=(double c) {
+  for (double& x : v_) x *= c;
+  return *this;
+}
+
+double covariance(const Samples& a, const Samples& b) {
+  require_same_size(a, b);
+  if (a.empty()) return 0.0;
+  const double ma = a.mean();
+  const double mb = b.mean();
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - ma) * (b[i] - mb);
+  return s / static_cast<double>(a.size());
+}
+
+double correlation(const Samples& a, const Samples& b) {
+  const double denom = a.stddev() * b.stddev();
+  if (denom == 0.0) return 0.0;
+  return covariance(a, b) / denom;
+}
+
+}  // namespace terrors::stat

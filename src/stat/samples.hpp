@@ -1,0 +1,71 @@
+// Common-random-number sample vectors.
+//
+// The paper represents "the distribution of dynamic instances" of an
+// instruction's error probability as a random variable driven by data
+// variation.  We realise every such random variable as a vector of values
+// over the SAME M program-input samples, so arithmetic between them
+// (Eqs. 1, 2, 7, 8, 10) is elementwise and preserves all cross
+// correlations induced by the shared input.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace terrors::stat {
+
+/// A random variable represented by aligned samples over common inputs.
+class Samples {
+ public:
+  Samples() = default;
+  explicit Samples(std::size_t n, double value = 0.0) : v_(n, value) {}
+  explicit Samples(std::vector<double> values) : v_(std::move(values)) {}
+
+  [[nodiscard]] std::size_t size() const { return v_.size(); }
+  [[nodiscard]] bool empty() const { return v_.empty(); }
+  double& operator[](std::size_t i) { return v_[i]; }
+  double operator[](std::size_t i) const { return v_[i]; }
+  [[nodiscard]] const std::vector<double>& values() const { return v_; }
+
+  [[nodiscard]] double mean() const;
+  /// Population variance.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Central absolute third moment E|X - EX|^3.
+  [[nodiscard]] double abs_central_moment3() const;
+  /// Central fourth moment E[(X - EX)^4].
+  [[nodiscard]] double central_moment4() const;
+  /// Worst-case value in the paper's sense: mean + k * stddev.
+  [[nodiscard]] double worst_case(double k_sigma = 6.0) const;
+  /// Empirical quantile (nearest-rank); p in [0, 1].
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Elementwise map.
+  [[nodiscard]] Samples map(const std::function<double(double)>& f) const;
+
+  Samples& operator+=(const Samples& o);
+  Samples& operator-=(const Samples& o);
+  Samples& operator*=(const Samples& o);
+  Samples& operator+=(double c);
+  Samples& operator*=(double c);
+
+  friend Samples operator+(Samples a, const Samples& b) { return a += b; }
+  friend Samples operator-(Samples a, const Samples& b) { return a -= b; }
+  friend Samples operator*(Samples a, const Samples& b) { return a *= b; }
+  friend Samples operator+(Samples a, double c) { return a += c; }
+  friend Samples operator*(Samples a, double c) { return a *= c; }
+  friend Samples operator*(double c, Samples a) { return a *= c; }
+
+ private:
+  std::vector<double> v_;
+};
+
+/// Covariance between two aligned sample vectors (population).
+double covariance(const Samples& a, const Samples& b);
+
+/// Pearson correlation; 0 if either side is degenerate.
+double correlation(const Samples& a, const Samples& b);
+
+}  // namespace terrors::stat

@@ -1,0 +1,33 @@
+#include "stat/stein.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace terrors::stat {
+
+double stein_normal_bound(const SteinNormalInputs& in) {
+  TE_REQUIRE(in.sigma >= 0.0, "negative sigma");
+  TE_REQUIRE(in.sum_abs_central3 >= 0.0 && in.sum_central4 >= 0.0, "negative moment sums");
+  TE_REQUIRE(in.max_dep >= 1, "dependency neighbourhoods include the variable itself");
+  if (in.sigma == 0.0) return 0.0;  // point mass: approximation is exact
+  const double d = static_cast<double>(in.max_dep);
+  const double sigma2 = in.sigma * in.sigma;
+  const double sigma3 = sigma2 * in.sigma;
+  const double b1 = d * d / sigma3 * in.sum_abs_central3;
+  const double b2 =
+      std::sqrt(28.0) * std::pow(d, 1.5) / (std::sqrt(M_PI) * sigma2) * std::sqrt(in.sum_central4);
+  // Eq. (13): d_K <= (2/pi)^{1/4} (b1 + b2).
+  const double bound = std::pow(2.0 / M_PI, 0.25) * (b1 + b2);
+  return std::min(1.0, bound);
+}
+
+double chen_stein_bound(const ChenSteinInputs& in) {
+  TE_REQUIRE(in.b1 >= 0.0 && in.b2 >= 0.0, "negative Chen-Stein terms");
+  TE_REQUIRE(in.lambda >= 0.0, "negative Poisson rate");
+  const double scale = in.lambda > 1.0 ? 1.0 / in.lambda : 1.0;
+  return std::min(1.0, scale * (in.b1 + in.b2));
+}
+
+}  // namespace terrors::stat

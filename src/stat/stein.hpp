@@ -1,0 +1,42 @@
+// Stein's method (normal approximation, Theorem 5.2 of the paper) and the
+// Chen–Stein method (Poisson approximation, Theorem 5.1) error bounds for
+// sums of locally dependent random variables.
+//
+// These are the paper's replacement for Monte-Carlo validation: instead of
+// simulating the program many times, the bounds certify how far the
+// Poisson / normal approximations can be from the true distribution of the
+// program error count.
+#pragma once
+
+#include <cstddef>
+
+namespace terrors::stat {
+
+/// Inputs of Theorem 5.2.  The X_i are the (centred) summands of
+/// W = sum X_i; `sum_abs_central3` is sum_i E|X_i - EX_i|^3 and
+/// `sum_central4` is sum_i E[(X_i - EX_i)^4]; `sigma` is SD(W); `max_dep`
+/// is D, the largest dependency-neighbourhood size (2 for the paper's
+/// chain dependence).
+struct SteinNormalInputs {
+  double sigma = 0.0;
+  double sum_abs_central3 = 0.0;
+  double sum_central4 = 0.0;
+  std::size_t max_dep = 2;
+};
+
+/// Kolmogorov-metric bound d_K(W, N(mu, sigma^2)) per Eqs. (11)–(13).
+double stein_normal_bound(const SteinNormalInputs& in);
+
+/// Inputs of Theorem 5.1 (Chen–Stein).  b1 = sum_a sum_{b in B_a} p_a p_b,
+/// b2 = sum_a sum_{a != b in B_a} E[X_a X_b], lambda = E[W].
+struct ChenSteinInputs {
+  double b1 = 0.0;
+  double b2 = 0.0;
+  double lambda = 0.0;
+};
+
+/// Total-variation (hence Kolmogorov) bound d(W, Poisson(lambda)) per
+/// Eq. (5) / Eq. (9): min{1, 1/lambda} * (b1 + b2).
+double chen_stein_bound(const ChenSteinInputs& in);
+
+}  // namespace terrors::stat

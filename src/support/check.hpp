@@ -1,0 +1,38 @@
+// Lightweight precondition / invariant checking for the terrors library.
+//
+// TE_REQUIRE is used for preconditions on public interfaces: it is always
+// enabled and throws std::invalid_argument so callers can recover.
+// TE_CHECK is used for internal invariants: it is always enabled (the
+// library is not performance-critical enough to justify silent corruption)
+// and throws std::logic_error, signalling a bug in this library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace terrors::support {
+
+[[noreturn]] inline void throw_require_failure(const char* expr, const char* file, int line,
+                                               const std::string& msg) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement failed: " + expr + (msg.empty() ? "" : " — " + msg));
+}
+
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
+                                             const std::string& msg) {
+  throw std::logic_error(std::string(file) + ":" + std::to_string(line) +
+                         ": internal invariant violated: " + expr +
+                         (msg.empty() ? "" : " — " + msg));
+}
+
+}  // namespace terrors::support
+
+#define TE_REQUIRE(expr, msg)                                                     \
+  do {                                                                            \
+    if (!(expr)) ::terrors::support::throw_require_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define TE_CHECK(expr, msg)                                                     \
+  do {                                                                          \
+    if (!(expr)) ::terrors::support::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

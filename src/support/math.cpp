@@ -1,0 +1,149 @@
+#include "support/math.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.hpp"
+
+namespace terrors::support {
+
+double normal_pdf(double x) {
+  static const double inv_sqrt_2pi = 0.3989422804014327;
+  return inv_sqrt_2pi * std::exp(-0.5 * x * x);
+}
+
+double normal_cdf(double x) { return 0.5 * std::erfc(-x * M_SQRT1_2); }
+
+double normal_quantile(double p) {
+  TE_REQUIRE(p > 0.0 && p < 1.0, "normal_quantile requires 0 < p < 1");
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x = 0.0;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step using the exact CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double log_gamma(double x) {
+  TE_REQUIRE(x > 0.0, "log_gamma requires x > 0");
+  // Lanczos approximation (g = 7, n = 9), relative error < 1e-13.
+  static const double coeff[] = {0.99999999999980993,  676.5203681218851,   -1259.1392167224028,
+                                 771.32342877765313,   -176.61502916214059, 12.507343278686905,
+                                 -0.13857109526572012, 9.9843695780195716e-6,
+                                 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection formula.
+    return std::log(M_PI / std::sin(M_PI * x)) - log_gamma(1.0 - x);
+  }
+  const double z = x - 1.0;
+  double sum = coeff[0];
+  for (int i = 1; i < 9; ++i) sum += coeff[i] / (z + i);
+  const double t = z + 7.5;
+  return 0.5 * std::log(2.0 * M_PI) + (z + 0.5) * std::log(t) - t + std::log(sum);
+}
+
+namespace {
+
+// Series representation of P(a, x), valid for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int i = 0; i < 1000; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-16) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
+}
+
+// Continued-fraction representation of Q(a, x), valid for x >= a + 1
+// (modified Lentz's method).
+double gamma_q_cf(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 1000; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-16) break;
+  }
+  return std::exp(-x + a * std::log(x) - log_gamma(a)) * h;
+}
+
+}  // namespace
+
+double gamma_p(double a, double x) {
+  TE_REQUIRE(a > 0.0, "gamma_p requires a > 0");
+  TE_REQUIRE(x >= 0.0, "gamma_p requires x >= 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_cf(a, x);
+}
+
+double gamma_q(double a, double x) {
+  TE_REQUIRE(a > 0.0, "gamma_q requires a > 0");
+  TE_REQUIRE(x >= 0.0, "gamma_q requires x >= 0");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_cf(a, x);
+}
+
+double poisson_cdf(std::int64_t k, double lambda) {
+  TE_REQUIRE(lambda >= 0.0, "poisson_cdf requires lambda >= 0");
+  if (k < 0) return 0.0;
+  if (lambda == 0.0) return 1.0;
+  return gamma_q(static_cast<double>(k) + 1.0, lambda);
+}
+
+double poisson_pmf(std::int64_t k, double lambda) {
+  TE_REQUIRE(lambda >= 0.0, "poisson_pmf requires lambda >= 0");
+  if (k < 0) return 0.0;
+  if (lambda == 0.0) return k == 0 ? 1.0 : 0.0;
+  const double kk = static_cast<double>(k);
+  return std::exp(kk * std::log(lambda) - lambda - log_gamma(kk + 1.0));
+}
+
+double clamp(double x, double lo, double hi) {
+  TE_REQUIRE(lo <= hi, "clamp with inverted bounds");
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+}  // namespace terrors::support

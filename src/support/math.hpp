@@ -1,0 +1,39 @@
+// Special functions used by the statistical machinery: the standard normal
+// CDF and quantile, log-gamma, the regularised incomplete gamma functions
+// (which give the Poisson CDF), and numerically careful helpers.
+#pragma once
+
+#include <cstdint>
+
+namespace terrors::support {
+
+/// Standard normal probability density.
+double normal_pdf(double x);
+
+/// Standard normal CDF Phi(x).
+double normal_cdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined by
+/// one Halley step); requires 0 < p < 1.
+double normal_quantile(double p);
+
+/// Natural log of the gamma function for x > 0 (Lanczos).
+double log_gamma(double x);
+
+/// Regularised lower incomplete gamma P(a, x), a > 0, x >= 0.
+double gamma_p(double a, double x);
+
+/// Regularised upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gamma_q(double a, double x);
+
+/// CDF of a Poisson(lambda) variable at integer k: Pr(X <= k) = Q(k+1, lambda).
+/// Defined as 0 for k < 0 and 1 for lambda == 0 with k >= 0.
+double poisson_cdf(std::int64_t k, double lambda);
+
+/// Probability mass function of Poisson(lambda) at k (computed in log space).
+double poisson_pmf(std::int64_t k, double lambda);
+
+/// Clamp x into [lo, hi].
+double clamp(double x, double lo, double hi);
+
+}  // namespace terrors::support

@@ -1,0 +1,34 @@
+// Signoff-style timing reports: a PrimeTime-flavoured text rendering of
+// the N most critical paths (per endpoint or design-wide), with per-gate
+// arrival breakdown and optional SSTA statistics.  Useful for inspecting
+// the synthetic design the way one would inspect a real EDA flow's output.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "netlist/netlist.hpp"
+#include "timing/paths.hpp"
+#include "timing/sta.hpp"
+#include "timing/variation.hpp"
+
+namespace terrors::timing {
+
+struct ReportConfig {
+  std::size_t max_paths = 10;      ///< design-wide worst paths reported
+  std::size_t paths_per_endpoint = 2;
+  bool show_gates = true;          ///< per-gate arrival breakdown
+  bool show_statistics = false;    ///< SSTA mean/sigma per path (needs vm)
+};
+
+/// Write a timing report for the whole design at the given clock spec.
+/// `vm` may be null when show_statistics is false.
+void write_timing_report(std::ostream& out, const netlist::Netlist& nl, const TimingSpec& spec,
+                         PathEnumerator& paths, const VariationModel* vm = nullptr,
+                         const ReportConfig& config = {});
+
+/// One-path detail block (exposed for tests).
+void write_path_report(std::ostream& out, const netlist::Netlist& nl, const TimingSpec& spec,
+                       const TimingPath& path, const VariationModel* vm, bool show_gates);
+
+}  // namespace terrors::timing

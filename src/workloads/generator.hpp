@@ -1,0 +1,39 @@
+// Synthetic program generator: builds a structured, guaranteed-terminating
+// CFG (nested counted loops, data-dependent diamonds, straight-line
+// blocks) with an exact basic-block count, an instruction mix and operand
+// shaping taken from the workload spec, and input datasets for it.
+//
+// Register convention of generated code:
+//   r0         zero
+//   r1..r6     loop counters (outer to inner)
+//   r8..r15    data registers (shaped by the input generator)
+//   r16..r19   address registers
+//   r20..r23   temporaries
+//   r28..r31   shaping constants (and-mask, or-bias, saturation patterns)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/executor.hpp"
+#include "isa/program.hpp"
+#include "workloads/specs.hpp"
+
+namespace terrors::workloads {
+
+/// Generate the program for a spec (deterministic in spec.seed).
+[[nodiscard]] isa::Program generate_program(const WorkloadSpec& spec);
+
+/// Input datasets: `runs` initial machine states (registers shaped per the
+/// spec's operand profile, distinct memory seeds).
+[[nodiscard]] std::vector<isa::ProgramInput> generate_inputs(const WorkloadSpec& spec,
+                                                             std::size_t runs,
+                                                             std::uint64_t seed);
+
+/// Executor configuration so that `runs` runs together execute about
+/// spec.simulated_instructions(scale) dynamic instructions.
+[[nodiscard]] isa::ExecutorConfig executor_config_for(const WorkloadSpec& spec, std::size_t runs,
+                                                      double scale = 1e-4,
+                                                      std::size_t samples_per_edge = 32);
+
+}  // namespace terrors::workloads

@@ -1,0 +1,91 @@
+#include "workloads/specs.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace terrors::workloads {
+
+std::uint64_t WorkloadSpec::simulated_instructions(double scale,
+                                                   std::uint64_t floor_count) const {
+  TE_REQUIRE(scale > 0.0, "scale must be positive");
+  const auto scaled = static_cast<std::uint64_t>(static_cast<double>(paper_instructions) * scale);
+  return std::max(scaled, floor_count);
+}
+
+std::string_view category_name(Category c) {
+  switch (c) {
+    case Category::kAutomotive:
+      return "automotive";
+    case Category::kNetwork:
+      return "network";
+    case Category::kSecurity:
+      return "security";
+    case Category::kConsumer:
+      return "consumer";
+    case Category::kOffice:
+      return "office";
+    case Category::kTelecom:
+      return "telecom";
+  }
+  return "unknown";
+}
+
+const std::vector<WorkloadSpec>& mibench_specs() {
+  // Operand shapes: telecom code (GSM's saturating add/multiply-accumulate
+  // chains) produces values with long 1-runs, the worst case for ripple
+  // carries; network code manipulates short masked addresses/prefixes;
+  // security code mixes uniformly random words; automotive math sits in
+  // between; office/consumer lean to bytes and short words.
+  static const std::vector<WorkloadSpec> specs = [] {
+    std::vector<WorkloadSpec> s;
+    auto add = [&](std::string name, Category cat, int blocks, std::uint64_t instrs,
+                   double arith, double logic, double shift, double mem, double sub_fraction,
+                   OperandShape shape, std::uint64_t seed) {
+      WorkloadSpec w;
+      w.name = std::move(name);
+      w.category = cat;
+      w.basic_blocks = blocks;
+      w.paper_instructions = instrs;
+      w.w_arith = arith;
+      w.w_logic = logic;
+      w.w_shift = shift;
+      w.w_mem = mem;
+      w.sub_fraction = sub_fraction;
+      w.operands = shape;
+      w.seed = seed;
+      s.push_back(std::move(w));
+    };
+    // name, category, BBs, instructions (Table 2), mix weights
+    // (arith, logic, shift, mem), sub fraction, operand shape
+    // (mask, bias, run-heavy fraction), seed.
+    add("basicmath", Category::kAutomotive, 86, 1487629739ull, 3.0, 0.7, 0.6, 1.0, 0.25,
+        {0xFFFFFFFFu, 0x000003FFu, 0.05}, 101);
+    add("bitcount", Category::kAutomotive, 72, 589809283ull, 2.4, 3.0, 2.0, 0.4, 1.00,
+        {0x007FFFFFu, 0x0001FFFFu, 0.12}, 120);
+    add("dijkstra", Category::kNetwork, 70, 254491123ull, 2.0, 0.6, 0.3, 2.2, 0.38,
+        {0x0003FFFFu, 0x0001FFFFu, 0.30}, 103);
+    add("patricia", Category::kNetwork, 184, 1167201ull, 1.0, 1.4, 0.8, 2.6, 0.70,
+        {0x00000FFFu, 0x00000003u, 0.03}, 104);
+    add("pgp.encode", Category::kSecurity, 49, 782002182ull, 1.5, 2.4, 1.4, 0.9, 0.025,
+        {0xFFFFFFFFu, 0x0000FFFFu, 0.25}, 105);
+    add("pgp.decode", Category::kSecurity, 56, 212201598ull, 2.6, 2.2, 1.2, 0.9, 1.00,
+        {0xFFFFFFFFu, 0x00FFFFFFu, 0.25}, 106);
+    add("tiff2bw", Category::kConsumer, 174, 670620091ull, 2.4, 1.0, 1.6, 1.8, 0.95,
+        {0x007FFFFFu, 0x000FFFFFu, 0.32}, 107);
+    add("typeset", Category::kConsumer, 69, 66490215ull, 1.6, 1.2, 0.8, 2.0, 0.62,
+        {0x000FFFFFu, 0x0007FFFFu, 0.30}, 108);
+    add("ghostscript", Category::kOffice, 192, 743108760ull, 1.6, 1.1, 0.7, 2.0, 0.30,
+        {0x0000FFFFu, 0x0000000Fu, 0.06}, 109);
+    add("stringsearch", Category::kOffice, 133, 27984283ull, 2.5, 1.8, 0.9, 2.2, 0.60,
+        {0x00FFFFFFu, 0x0003FFFFu, 0.10}, 118);
+    add("gsm.encode", Category::kTelecom, 75, 473017210ull, 3.2, 0.8, 1.4, 1.0, 0.80,
+        {0xFFFFFFFFu, 0x007FFFFFu, 0.40}, 111);
+    add("gsm.decode", Category::kTelecom, 80, 497219812ull, 3.4, 0.7, 1.3, 1.0, 1.00,
+        {0xFFFFFFFFu, 0x00FFFFFFu, 0.60}, 112);
+    return s;
+  }();
+  return specs;
+}
+
+}  // namespace terrors::workloads

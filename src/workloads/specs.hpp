@@ -1,0 +1,61 @@
+// The 12 MiBench-like synthetic benchmarks (two per MiBench category, as
+// in Section 6.2).  Basic-block counts match Table 2 of the paper exactly;
+// dynamic instruction counts are Table 2's scaled down (configurable, see
+// simulated_instructions).  Each category has a characteristic instruction
+// mix and operand-value shape, which is what differentiates the programs'
+// activated carry chains — and hence their error rates — the same way the
+// real MiBench programs differ on the authors' LEON3.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace terrors::workloads {
+
+enum class Category : std::uint8_t {
+  kAutomotive,  ///< basicmath, bitcount
+  kNetwork,     ///< dijkstra, patricia
+  kSecurity,    ///< pgp.encode, pgp.decode
+  kConsumer,    ///< tiff2bw, typeset
+  kOffice,      ///< ghostscript, stringsearch
+  kTelecom,     ///< gsm.encode, gsm.decode
+};
+
+/// How operand values are shaped in the generated code (this controls the
+/// distribution of activated carry-chain lengths).
+struct OperandShape {
+  std::uint32_t and_mask = 0xFFFFFFFFu;  ///< values are masked to this width
+  std::uint32_t or_bias = 0u;            ///< bits OR'd in (creates long runs)
+  double run_heavy_fraction = 0.0;       ///< fraction of ops fed saturated values
+};
+
+struct WorkloadSpec {
+  std::string name;
+  Category category = Category::kAutomotive;
+  int basic_blocks = 0;                 ///< Table 2 "Basic Blocks"
+  std::uint64_t paper_instructions = 0; ///< Table 2 "Instructions"
+  // Instruction-mix weights (need not sum to 1).
+  double w_arith = 1.0;
+  double w_logic = 1.0;
+  double w_shift = 1.0;
+  double w_mem = 1.0;
+  /// Fraction of arithmetic ops that are subtracts.  Subtraction of
+  /// dissimilar-magnitude values rips the borrow through the inverted
+  /// upper operand bits — the strongest long-chain channel.
+  double sub_fraction = 0.0;
+  OperandShape operands;
+  std::uint64_t seed = 0;  ///< program-structure seed
+
+  /// Dynamic instructions to actually simulate: scale * paper count,
+  /// floored so small benchmarks still exercise their CFG.
+  [[nodiscard]] std::uint64_t simulated_instructions(double scale = 1e-4,
+                                                     std::uint64_t floor_count = 20000) const;
+};
+
+/// The paper's 12 benchmarks, in Table 2 order.
+[[nodiscard]] const std::vector<WorkloadSpec>& mibench_specs();
+
+[[nodiscard]] std::string_view category_name(Category c);
+
+}  // namespace terrors::workloads

@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error_model.hpp"
+#include "core/estimator.hpp"
+#include "core/framework.hpp"
+#include "core/marginal.hpp"
+#include "core/monte_carlo.hpp"
+#include "isa/cfg.hpp"
+#include "isa/executor.hpp"
+#include "netlist/pipeline.hpp"
+#include "support/rng.hpp"
+
+namespace terrors::core {
+namespace {
+
+using isa::BlockId;
+using isa::Opcode;
+
+isa::Instruction make(Opcode op, int rd = 0, int rs1 = 0, int rs2 = 0, int imm = 0) {
+  isa::Instruction i;
+  i.op = op;
+  i.rd = static_cast<std::uint8_t>(rd);
+  i.rs1 = static_cast<std::uint8_t>(rs1);
+  i.rs2 = static_cast<std::uint8_t>(rs2);
+  i.imm = imm;
+  return i;
+}
+
+// --- solve_dense -------------------------------------------------------------
+
+TEST(SolveDense, SolvesKnownSystem) {
+  // [2 1; 1 3] x = [5; 10] -> x = (1, 3).
+  const auto x = solve_dense({2, 1, 1, 3}, {5, 10});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SolveDense, PivotsOnZeroDiagonal) {
+  // [0 1; 1 0] x = [2; 3] -> x = (3, 2).
+  const auto x = solve_dense({0, 1, 1, 0}, {2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveDense, RejectsSingular) {
+  EXPECT_THROW(solve_dense({1, 2, 2, 4}, {1, 2}), std::invalid_argument);
+}
+
+TEST(SolveDense, RandomRoundTrip) {
+  support::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(6);
+    std::vector<double> a(n * n);
+    std::vector<double> x_true(n);
+    for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i * n + i] += 3.0;  // diagonally dominant => nonsingular
+      x_true[i] = rng.uniform(-5.0, 5.0);
+    }
+    std::vector<double> b(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+    const auto x = solve_dense(a, b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+  }
+}
+
+// --- Marginal solver on a hand-built program ----------------------------------
+
+/// Straight-line program: B0 -> B1 (exit).  One instruction each.
+struct StraightFixture {
+  isa::Program p{"straight"};
+  StraightFixture() {
+    isa::BasicBlock b0;
+    b0.instructions = {make(Opcode::kAddi, 8, 8, 0, 1)};
+    isa::BasicBlock b1;
+    b1.instructions = {make(Opcode::kAddi, 9, 9, 0, 1)};
+    p.add_block(b0);
+    p.add_block(b1);
+    p.block(0).fallthrough = 1;
+    p.set_entry(0);
+    p.validate();
+  }
+};
+
+std::vector<BlockErrorDistributions> constant_conditionals(const isa::Program& p, double pc,
+                                                           double pe, std::size_t m = 4) {
+  std::vector<BlockErrorDistributions> cond(p.block_count());
+  for (BlockId b = 0; b < p.block_count(); ++b) {
+    cond[b].executed = true;
+    cond[b].instr.resize(p.block(b).size());
+    for (auto& d : cond[b].instr) {
+      d.p_correct = stat::Samples(m, pc);
+      d.p_error = stat::Samples(m, pe);
+    }
+  }
+  return cond;
+}
+
+TEST(MarginalSolver, StraightLineRecurrence) {
+  StraightFixture f;
+  const isa::Cfg cfg(f.p);
+  isa::Executor ex(f.p, cfg);
+  ex.run({});
+  const double pc = 0.01;
+  const double pe = 0.3;
+  const auto cond = constant_conditionals(f.p, pc, pe);
+  const MarginalSolver solver(f.p, cfg, ex.profile());
+  const auto marg = solver.solve(cond);
+
+  // Entry: flushed state p_in = 1 (Eq. 2 with the entry pseudo-edge).
+  EXPECT_NEAR(marg[0].p_in[0], 1.0, 1e-12);
+  // First instruction: p = pe * 1 + pc * 0 = pe.
+  EXPECT_NEAR(marg[0].instr[0][0], pe, 1e-12);
+  // B1's input is B0's output.
+  EXPECT_NEAR(marg[1].p_in[0], pe, 1e-12);
+  // Second instruction: pe * pe + pc * (1 - pe).
+  EXPECT_NEAR(marg[1].instr[0][0], pe * pe + pc * (1.0 - pe), 1e-12);
+}
+
+/// Self-loop program: B0 -> B1 (loops N-1 times) -> B2.
+struct LoopFixture {
+  isa::Program p{"loop"};
+  LoopFixture() {
+    isa::BasicBlock b0;
+    b0.instructions = {make(Opcode::kMovi, 1, 0, 0, 4)};
+    isa::BasicBlock b1;
+    b1.instructions = {make(Opcode::kSubi, 1, 1, 0, 1), make(Opcode::kBne, 0, 1, 0)};
+    isa::BasicBlock b2;
+    b2.instructions = {make(Opcode::kNop)};
+    p.add_block(b0);
+    p.add_block(b1);
+    p.add_block(b2);
+    p.block(0).fallthrough = 1;
+    p.block(1).taken = 1;
+    p.block(1).fallthrough = 2;
+    p.set_entry(0);
+    p.validate();
+  }
+};
+
+TEST(MarginalSolver, LoopFixedPointSatisfiesEquations) {
+  LoopFixture f;
+  const isa::Cfg cfg(f.p);
+  isa::Executor ex(f.p, cfg);
+  ex.run({});
+  const double pc = 0.02;
+  const double pe = 0.4;
+  const auto cond = constant_conditionals(f.p, pc, pe);
+  const MarginalSolver solver(f.p, cfg, ex.profile());
+  const auto marg = solver.solve(cond);
+
+  // Verify Eq. (2) at the loop header: p_in(B1) = w_fall * out(B0) +
+  // w_back * out(B1) with the measured activation probabilities.
+  const auto& preds = cfg.predecessors(1);
+  double expected = 0.0;
+  for (std::size_t j = 0; j < preds.size(); ++j) {
+    const double w = ex.profile().edge_activation(1, j);
+    const BlockId t = preds[j].from;
+    const double out_t = marg[t].instr.back()[0];
+    expected += w * out_t;
+  }
+  EXPECT_NEAR(marg[1].p_in[0], expected, 1e-9);
+
+  // All probabilities are valid.
+  for (const auto& bm : marg) {
+    for (const auto& instr : bm.instr) {
+      for (std::size_t w = 0; w < instr.size(); ++w) {
+        EXPECT_GE(instr[w], 0.0);
+        EXPECT_LE(instr[w], 1.0);
+      }
+    }
+  }
+}
+
+TEST(MarginalSolver, ReplaySchemeCollapsesToPc) {
+  // With p^e == p^c the marginal equals p^c everywhere (Eq. 1 degenerates).
+  LoopFixture f;
+  const isa::Cfg cfg(f.p);
+  isa::Executor ex(f.p, cfg);
+  ex.run({});
+  const double pc = 0.05;
+  const auto cond = constant_conditionals(f.p, pc, pc);
+  const MarginalSolver solver(f.p, cfg, ex.profile());
+  const auto marg = solver.solve(cond);
+  for (const auto& bm : marg) {
+    if (!bm.executed) continue;
+    for (const auto& instr : bm.instr) EXPECT_NEAR(instr[0], pc, 1e-12);
+  }
+}
+
+// --- Estimator -----------------------------------------------------------------
+
+TEST(Estimator, LambdaMatchesHandComputation) {
+  StraightFixture f;
+  const isa::Cfg cfg(f.p);
+  isa::Executor ex(f.p, cfg);
+  ex.run({});
+  const double pc = 0.01;
+  const double pe = 0.3;
+  const auto cond = constant_conditionals(f.p, pc, pe);
+  const MarginalSolver solver(f.p, cfg, ex.profile());
+  const auto marg = solver.solve(cond);
+  EstimatorInputs in;
+  in.program = &f.p;
+  in.profile = &ex.profile();
+  in.conditionals = &cond;
+  in.marginals = &marg;
+  const auto est = estimate_error_rate(in);
+  const double p1 = pe;
+  const double p2 = pe * pe + pc * (1.0 - pe);
+  EXPECT_NEAR(est.lambda.mean, p1 + p2, 1e-9);
+  EXPECT_EQ(est.total_instructions, 2u);
+  EXPECT_NEAR(est.rate_mean(), (p1 + p2) / 2.0, 1e-9);
+  // Constant conditionals: no data variation at all.
+  EXPECT_NEAR(est.lambda.sd, 0.0, 1e-12);
+}
+
+TEST(Estimator, ExecutionScaleExtrapolates) {
+  StraightFixture f;
+  const isa::Cfg cfg(f.p);
+  isa::Executor ex(f.p, cfg);
+  ex.run({});
+  const auto cond = constant_conditionals(f.p, 0.01, 0.2);
+  const MarginalSolver solver(f.p, cfg, ex.profile());
+  const auto marg = solver.solve(cond);
+  EstimatorInputs in;
+  in.program = &f.p;
+  in.profile = &ex.profile();
+  in.conditionals = &cond;
+  in.marginals = &marg;
+  in.execution_scale = 50.0;  // keep lambda > 1 so min{1, 1/lambda} = 1/lambda
+  const auto base = estimate_error_rate(in);
+  in.execution_scale = 50000.0;
+  const auto scaled = estimate_error_rate(in);
+  EXPECT_NEAR(scaled.lambda.mean, 1000.0 * base.lambda.mean, 1e-4 * scaled.lambda.mean);
+  EXPECT_NEAR(scaled.rate_mean(), base.rate_mean(), 1e-12);
+  // With lambda > 1 on both sides the Chen-Stein ratio (b1+b2)/lambda is
+  // scale-invariant.
+  EXPECT_NEAR(scaled.dk_count, base.dk_count, 1e-9);
+}
+
+TEST(Estimator, RateCdfIsMonotoneAndBracketedByBounds) {
+  StraightFixture f;
+  const isa::Cfg cfg(f.p);
+  isa::Executor ex(f.p, cfg);
+  ex.run({});
+  // Add data variation so lambda has spread.
+  auto cond = constant_conditionals(f.p, 0.01, 0.3, 8);
+  for (auto& bd : cond) {
+    for (auto& d : bd.instr) {
+      for (std::size_t w = 0; w < d.p_correct.size(); ++w)
+        d.p_correct[w] = 0.005 + 0.002 * static_cast<double>(w);
+    }
+  }
+  const MarginalSolver solver(f.p, cfg, ex.profile());
+  const auto marg = solver.solve(cond);
+  EstimatorInputs in;
+  in.program = &f.p;
+  in.profile = &ex.profile();
+  in.conditionals = &cond;
+  in.marginals = &marg;
+  in.execution_scale = 1e6;  // large-count regime
+  const auto est = estimate_error_rate(in);
+
+  double prev = -1.0;
+  for (double r = 0.0; r <= 0.02; r += 0.001) {
+    const double c = est.rate_cdf(r);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+    EXPECT_LE(est.rate_cdf_lower(r), c + 1e-9);
+    EXPECT_GE(est.rate_cdf_upper(r), c - 1e-9);
+  }
+}
+
+TEST(Estimator, ChenSteinRadiusExtensionIsLooserOrEqual) {
+  LoopFixture f;
+  const isa::Cfg cfg(f.p);
+  isa::Executor ex(f.p, cfg);
+  ex.run({});
+  const auto cond = constant_conditionals(f.p, 0.02, 0.5);
+  const MarginalSolver solver(f.p, cfg, ex.profile());
+  const auto marg = solver.solve(cond);
+  EstimatorInputs in;
+  in.program = &f.p;
+  in.profile = &ex.profile();
+  in.conditionals = &cond;
+  in.marginals = &marg;
+  in.execution_scale = 100.0;
+  in.chen_stein_radius = 1;
+  const auto r1 = estimate_error_rate(in);
+  in.chen_stein_radius = 4;
+  const auto r4 = estimate_error_rate(in);
+  // Growing the neighbourhood only adds non-negative terms.
+  EXPECT_GE(r4.dk_count, r1.dk_count - 1e-12);
+  EXPECT_GT(r1.dk_count, 0.0);
+  EXPECT_LE(r4.dk_count, 1.0);
+}
+
+// --- Monte Carlo ----------------------------------------------------------------
+
+TEST(MonteCarlo, MatchesAnalyticMeanOnStraightLine) {
+  StraightFixture f;
+  const isa::Cfg cfg(f.p);
+  isa::ExecutorConfig ecfg;
+  ecfg.record_block_trace = true;
+  isa::Executor ex(f.p, cfg, ecfg);
+  ex.run({});
+  const double pc = 0.05;
+  const double pe = 0.5;
+  const auto cond = constant_conditionals(f.p, pc, pe);
+  support::Rng rng(7);
+  const auto counts = monte_carlo_error_counts(ex.profile(), cond, 200000, rng);
+  double mean = 0.0;
+  for (auto c : counts) mean += static_cast<double>(c);
+  mean /= static_cast<double>(counts.size());
+  const double p1 = pe;  // flushed entry
+  const double p2 = pe * p1 + pc * (1.0 - p1);
+  EXPECT_NEAR(mean, p1 + p2, 0.01);
+}
+
+TEST(MonteCarlo, RequiresTrace) {
+  StraightFixture f;
+  const isa::Cfg cfg(f.p);
+  isa::Executor ex(f.p, cfg);  // no trace recording
+  ex.run({});
+  const auto cond = constant_conditionals(f.p, 0.1, 0.1);
+  support::Rng rng(1);
+  EXPECT_THROW(monte_carlo_error_counts(ex.profile(), cond, 10, rng), std::invalid_argument);
+}
+
+TEST(MonteCarlo, EmpiricalCdfBasics) {
+  const std::vector<std::uint64_t> counts = {0, 1, 1, 2, 5};
+  EXPECT_NEAR(empirical_cdf(counts, 0), 0.2, 1e-12);
+  EXPECT_NEAR(empirical_cdf(counts, 1), 0.6, 1e-12);
+  EXPECT_NEAR(empirical_cdf(counts, 5), 1.0, 1e-12);
+}
+
+// --- Full framework (integration smoke) -------------------------------------------
+
+class FrameworkFixture : public ::testing::Test {
+ protected:
+  static const netlist::Pipeline& pipeline() {
+    static const netlist::Pipeline p = netlist::build_pipeline({});
+    return p;
+  }
+};
+
+TEST_F(FrameworkFixture, EndToEndLoopProgram) {
+  LoopFixture f;
+  FrameworkConfig cfg;
+  cfg.spec = timing::TimingSpec{1300.0};
+  ErrorRateFramework fw(pipeline(), cfg);
+  const auto result = fw.analyze(f.p, {isa::ProgramInput{}});
+  EXPECT_EQ(result.basic_blocks, 3u);
+  EXPECT_GT(result.instructions, 0u);
+  EXPECT_GE(result.estimate.rate_mean(), 0.0);
+  EXPECT_LE(result.estimate.rate_mean(), 1.0);
+  EXPECT_GE(result.estimate.dk_count, 0.0);
+  EXPECT_LE(result.estimate.dk_count, 1.0);
+  // Artifacts populated.
+  EXPECT_EQ(fw.last().conditionals.size(), 3u);
+  EXPECT_EQ(fw.last().marginals.size(), 3u);
+}
+
+TEST_F(FrameworkFixture, HigherFrequencyRaisesErrorRate) {
+  LoopFixture f;
+  FrameworkConfig cfg;
+  cfg.spec = timing::TimingSpec{1400.0};
+  ErrorRateFramework fw(pipeline(), cfg);
+  const double slow = fw.analyze(f.p, {isa::ProgramInput{}}).estimate.rate_mean();
+  fw.set_spec(timing::TimingSpec{1000.0});
+  const double fast = fw.analyze(f.p, {isa::ProgramInput{}}).estimate.rate_mean();
+  EXPECT_GE(fast, slow);
+}
+
+TEST_F(FrameworkFixture, DeterministicAcrossRepeats) {
+  LoopFixture f;
+  FrameworkConfig cfg;
+  cfg.spec = timing::TimingSpec{1300.0};
+  ErrorRateFramework a(pipeline(), cfg);
+  ErrorRateFramework b(pipeline(), cfg);
+  const auto ra = a.analyze(f.p, {isa::ProgramInput{}});
+  const auto rb = b.analyze(f.p, {isa::ProgramInput{}});
+  EXPECT_DOUBLE_EQ(ra.estimate.rate_mean(), rb.estimate.rate_mean());
+  EXPECT_DOUBLE_EQ(ra.estimate.dk_count, rb.estimate.dk_count);
+}
+
+}  // namespace
+}  // namespace terrors::core

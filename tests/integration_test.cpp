@@ -1,0 +1,132 @@
+// End-to-end integration tests: the full Figure 2 flow on real (scaled)
+// workloads, checking cross-module invariants rather than exact values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/framework.hpp"
+#include "netlist/pipeline.hpp"
+#include "perf/ts_model.hpp"
+#include "timing/sta.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/specs.hpp"
+
+namespace terrors {
+namespace {
+
+const netlist::Pipeline& pipeline() {
+  static const netlist::Pipeline p = netlist::build_pipeline({});
+  return p;
+}
+
+core::FrameworkConfig small_config() {
+  core::FrameworkConfig cfg;
+  cfg.spec = timing::TimingSpec{1300.0};
+  cfg.executor.max_instructions = 8000;
+  cfg.error_model.mixed_samples = 32;
+  return cfg;
+}
+
+class WorkloadEndToEnd : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WorkloadEndToEnd, ProducesValidEstimate) {
+  const auto& spec = workloads::mibench_specs()[GetParam()];
+  core::ErrorRateFramework fw(pipeline(), small_config());
+  const isa::Program program = workloads::generate_program(spec);
+  const auto r = fw.analyze(program, workloads::generate_inputs(spec, 2, 7));
+
+  EXPECT_EQ(r.name, spec.name);
+  EXPECT_EQ(r.basic_blocks, static_cast<std::size_t>(spec.basic_blocks));
+  EXPECT_GT(r.instructions, 0u);
+
+  const auto& est = r.estimate;
+  EXPECT_GE(est.rate_mean(), 0.0);
+  EXPECT_LE(est.rate_mean(), 0.2);  // sane magnitude at the working point
+  EXPECT_GE(est.lambda.sd, 0.0);
+  EXPECT_GE(est.dk_lambda, 0.0);
+  EXPECT_LE(est.dk_lambda, 1.0);
+  EXPECT_GE(est.dk_count, 0.0);
+  EXPECT_LE(est.dk_count, 1.0);
+
+  // CDF sanity at the mean: strictly between the bounds and roughly
+  // centred.
+  const double c = est.rate_cdf(est.rate_mean());
+  EXPECT_GT(c, 0.05);
+  EXPECT_LT(c, 0.95);
+
+  // Every conditional probability is a probability, and p^e >= 0
+  // distributions exist for executed blocks.
+  for (const auto& bd : fw.last().conditionals) {
+    if (!bd.executed) continue;
+    for (const auto& instr : bd.instr) {
+      for (std::size_t w = 0; w < instr.p_correct.size(); ++w) {
+        EXPECT_GE(instr.p_correct[w], 0.0);
+        EXPECT_LE(instr.p_correct[w], 1.0);
+        EXPECT_GE(instr.p_error[w], 0.0);
+        EXPECT_LE(instr.p_error[w], 1.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FourWorkloads, WorkloadEndToEnd,
+                         ::testing::Values(std::size_t{3}, std::size_t{0}, std::size_t{5},
+                                           std::size_t{11}));
+
+TEST(Integration, ErrorRateOrderingLightVsHeavy) {
+  // patricia (pointer-chasing, narrow operands) must come out well below
+  // gsm.decode (saturated telecom arithmetic) — the paper's headline
+  // qualitative result.
+  core::ErrorRateFramework fw(pipeline(), small_config());
+  const auto& light_spec = workloads::mibench_specs()[3];
+  const auto& heavy_spec = workloads::mibench_specs()[11];
+  const auto light = fw.analyze(workloads::generate_program(light_spec),
+                                workloads::generate_inputs(light_spec, 2, 7));
+  const auto heavy = fw.analyze(workloads::generate_program(heavy_spec),
+                                workloads::generate_inputs(heavy_spec, 2, 7));
+  EXPECT_LT(light.estimate.rate_mean(), heavy.estimate.rate_mean());
+}
+
+TEST(Integration, SlowClockKillsErrors) {
+  // At twice the critical-path delay nothing can fail.
+  auto cfg = small_config();
+  cfg.spec = timing::TimingSpec{4000.0};
+  core::ErrorRateFramework fw(pipeline(), cfg);
+  const auto& spec = workloads::mibench_specs()[11];
+  const auto r =
+      fw.analyze(workloads::generate_program(spec), workloads::generate_inputs(spec, 1, 7));
+  EXPECT_LT(r.estimate.rate_mean(), 1e-6);
+}
+
+TEST(Integration, PerformanceModelAppliesToEstimates) {
+  core::ErrorRateFramework fw(pipeline(), small_config());
+  const perf::TsProcessorModel ts;
+  const auto& spec = workloads::mibench_specs()[3];
+  const auto r =
+      fw.analyze(workloads::generate_program(spec), workloads::generate_inputs(spec, 1, 7));
+  const double imp = ts.performance_improvement(std::min(1.0, r.estimate.rate_mean()));
+  // Low-error benchmark at the working point: speculation must pay off.
+  EXPECT_GT(imp, 0.0);
+  EXPECT_LT(imp, ts.frequency_ratio - 1.0 + 1e-12);
+}
+
+TEST(Integration, TrainingTimeScalesWithBlocks) {
+  // ghostscript (192 blocks) needs more characterisation work than
+  // pgp.encode (49 blocks): check the per-edge characterisation produced
+  // entries for every reachable block.
+  core::ErrorRateFramework fw(pipeline(), small_config());
+  const auto& spec = workloads::mibench_specs()[8];  // ghostscript
+  const auto r =
+      fw.analyze(workloads::generate_program(spec), workloads::generate_inputs(spec, 1, 7));
+  (void)r;
+  std::size_t characterized = 0;
+  for (const auto& bc : fw.last().control) {
+    for (const auto& edge : bc.per_edge) {
+      for (const auto& d : edge.instr) characterized += d.has_value() ? 1 : 0;
+    }
+  }
+  EXPECT_GT(characterized, 100u);
+}
+
+}  // namespace
+}  // namespace terrors

@@ -1,0 +1,326 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/builder.hpp"
+#include "netlist/pipeline.hpp"
+#include "sim/activation.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/vcd.hpp"
+#include "support/rng.hpp"
+
+namespace terrors::sim {
+namespace {
+
+using netlist::EndpointClass;
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::NetlistBuilder;
+using netlist::Pipeline;
+using netlist::PipelineConfig;
+using netlist::Word;
+
+struct AluFixture {
+  NetlistBuilder b{support::Rng(1)};
+  Word x, y, sum, and_w, xor_w, shl;
+  GateId eq = netlist::kNoGate, carry = netlist::kNoGate;
+
+  AluFixture() {
+    x = b.input_word("x", 16);
+    y = b.input_word("y", 16);
+    auto add = b.ripple_adder(x, y);
+    sum = add.sum;
+    carry = add.carry_out;
+    and_w = b.and_word(x, y);
+    xor_w = b.xor_word(x, y);
+    Word amt(x.begin(), x.begin() + 4);
+    shl = b.shift_left(y, amt);
+    eq = b.equals(x, y);
+    b.netlist().finalize(1);
+  }
+};
+
+class AluFunctional : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AluFunctional, MatchesIntegerSemantics) {
+  AluFixture f;
+  LogicSimulator sim(f.b.netlist());
+  support::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t a = rng.next_u64() & 0xFFFF;
+    const std::uint64_t c = rng.next_u64() & 0xFFFF;
+    sim.set_input_word(f.x, a);
+    sim.set_input_word(f.y, c);
+    sim.step();
+    EXPECT_EQ(sim.value_word(f.sum), (a + c) & 0xFFFF);
+    EXPECT_EQ(sim.value(f.carry), ((a + c) >> 16) & 1);
+    EXPECT_EQ(sim.value_word(f.and_w), a & c);
+    EXPECT_EQ(sim.value_word(f.xor_w), a ^ c);
+    EXPECT_EQ(sim.value_word(f.shl), (c << (a & 0xF)) & 0xFFFF);
+    EXPECT_EQ(sim.value(f.eq), a == c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AluFunctional, ::testing::Values(11u, 22u, 33u, 44u));
+
+class CarrySelectFunctional : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CarrySelectFunctional, MatchesIntegerAddition) {
+  NetlistBuilder b{support::Rng(8)};
+  auto x = b.input_word("x", 16);
+  auto y = b.input_word("y", 16);
+  auto cs = b.carry_select_adder(x, y, 4);
+  b.netlist().finalize(1);
+  LogicSimulator sim(b.netlist());
+  support::Rng rng(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    const std::uint64_t a = rng.next_u64() & 0xFFFF;
+    const std::uint64_t c = rng.next_u64() & 0xFFFF;
+    sim.set_input_word(x, a);
+    sim.set_input_word(y, c);
+    sim.step();
+    EXPECT_EQ(sim.value_word(cs.sum), (a + c) & 0xFFFF);
+    EXPECT_EQ(sim.value(cs.carry_out), ((a + c) >> 16) & 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CarrySelectFunctional, ::testing::Values(3u, 7u));
+
+TEST(LogicSim, CarrySelectPipelineComputesAdds) {
+  netlist::PipelineConfig cfg;
+  cfg.ex_adder = netlist::AdderKind::kCarrySelect;
+  const Pipeline p = netlist::build_pipeline(cfg);
+  LogicSimulator sim(p.netlist);
+  const std::uint64_t a = 0xCAFEBABEull;
+  const std::uint64_t c = 0x31415926ull;
+  auto zero_all = [&] {
+    for (GateId g : p.netlist.inputs()) sim.set_input(g, false);
+  };
+  zero_all();
+  sim.step();
+  zero_all();
+  sim.set_input_word(p.ports.op_a, a);
+  sim.set_input_word(p.ports.op_b, c);
+  sim.step();
+  zero_all();
+  sim.step();
+  zero_all();
+  sim.step();
+  sim.step();
+  EXPECT_EQ(sim.value_word(p.taps.ex_result_reg), (a + c) & 0xFFFFFFFFull);
+}
+
+TEST(LogicSim, DecoderIsOneHot) {
+  NetlistBuilder b(support::Rng(2));
+  auto sel = b.input_word("sel", 3);
+  auto dec = b.decoder(sel);
+  b.netlist().finalize(1);
+  LogicSimulator sim(b.netlist());
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    sim.set_input_word(sel, v);
+    sim.step();
+    EXPECT_EQ(sim.value_word(dec), 1ull << v);
+  }
+}
+
+TEST(LogicSim, DffCapturesPreviousCycleValue) {
+  NetlistBuilder b(support::Rng(3));
+  const GateId in = b.input("d");
+  const GateId q = b.dff("q", EndpointClass::kControl);
+  b.connect(q, in);
+  b.netlist().finalize(1);
+  LogicSimulator sim(b.netlist());
+  sim.set_input(in, true);
+  sim.step();  // cycle 1: input=1 settles, q still captured old 0
+  EXPECT_FALSE(sim.value(q));
+  sim.set_input(in, false);
+  sim.step();  // cycle 2: q captures the 1 settled in cycle 1
+  EXPECT_TRUE(sim.value(q));
+  sim.step();
+  EXPECT_FALSE(sim.value(q));
+}
+
+TEST(LogicSim, ActivationMatchesValueChanges) {
+  NetlistBuilder b(support::Rng(4));
+  auto x = b.input_word("x", 8);
+  auto y = b.input_word("y", 8);
+  auto add = b.ripple_adder(x, y);
+  (void)add;
+  b.netlist().finalize(1);
+  LogicSimulator sim(b.netlist());
+  sim.set_input_word(x, 0);
+  sim.set_input_word(y, 0);
+  sim.step();
+  sim.step();  // steady state: nothing changes
+  std::size_t active = 0;
+  for (GateId g = 0; g < b.netlist().size(); ++g) active += sim.activated(g) ? 1 : 0;
+  EXPECT_EQ(active, 0u);
+  // Flip one LSB: the carry chain of 0 + 1 has no propagation, so only a
+  // handful of gates toggle.
+  sim.set_input_word(x, 1);
+  sim.step();
+  EXPECT_TRUE(sim.activated(x[0]));
+  EXPECT_TRUE(sim.activated(add.sum[0]));
+  EXPECT_FALSE(sim.activated(add.sum[7]));
+}
+
+TEST(LogicSim, CarryChainActivationDependsOnOperands) {
+  NetlistBuilder b(support::Rng(5));
+  auto x = b.input_word("x", 16);
+  auto y = b.input_word("y", 16);
+  auto add = b.ripple_adder(x, y);
+  b.netlist().finalize(1);
+  LogicSimulator sim(b.netlist());
+  sim.set_input_word(x, 0);
+  sim.set_input_word(y, 0);
+  sim.step();
+  // 0xFFFF + 1 ripples the carry through every bit.
+  sim.set_input_word(x, 0xFFFF);
+  sim.step();
+  sim.set_input_word(y, 1);
+  sim.step();
+  EXPECT_TRUE(sim.activated(add.sum[15]));
+  EXPECT_TRUE(sim.activated(add.carry_out));
+}
+
+TEST(LogicSim, ForceStateOverridesDff) {
+  NetlistBuilder b(support::Rng(6));
+  const GateId in = b.input("d");
+  const GateId q = b.dff("q", EndpointClass::kControl);
+  b.connect(q, in);
+  const GateId inv = b.gate(GateKind::kInv, q);
+  b.netlist().finalize(1);
+  LogicSimulator sim(b.netlist());
+  sim.force_state(q, true);
+  EXPECT_TRUE(sim.value(q));
+  (void)inv;
+}
+
+TEST(ActivationTrace, RecordsAndQueries) {
+  ActivationTrace tr(130);
+  std::vector<std::uint8_t> flags(130, 0);
+  flags[0] = 1;
+  flags[64] = 1;
+  flags[129] = 1;
+  tr.record(flags);
+  std::fill(flags.begin(), flags.end(), 0);
+  tr.record(flags);
+  EXPECT_EQ(tr.cycles(), 2u);
+  EXPECT_TRUE(tr.activated(0, 0));
+  EXPECT_TRUE(tr.activated(0, 64));
+  EXPECT_TRUE(tr.activated(0, 129));
+  EXPECT_FALSE(tr.activated(0, 1));
+  EXPECT_FALSE(tr.activated(1, 0));
+  EXPECT_THROW(tr.activated(2, 0), std::invalid_argument);
+}
+
+TEST(Vcd, EmitsValidHeaderAndChanges) {
+  NetlistBuilder b(support::Rng(7));
+  const GateId in = b.input("toggler");
+  const GateId q = b.dff("state", EndpointClass::kControl);
+  b.connect(q, in);
+  b.netlist().finalize(1);
+  LogicSimulator sim(b.netlist());
+  std::ostringstream out;
+  VcdWriter vcd(out, b.netlist(), {in, q});
+  for (int t = 0; t < 4; ++t) {
+    sim.set_input(in, t % 2 == 0);
+    sim.step();
+    vcd.sample(sim);
+  }
+  const std::string s = out.str();
+  EXPECT_NE(s.find("$timescale"), std::string::npos);
+  EXPECT_NE(s.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(s.find("toggler"), std::string::npos);
+  EXPECT_NE(s.find("#0"), std::string::npos);
+}
+
+TEST(PipelineSim, AddFlowsThroughDatapath) {
+  const Pipeline p = netlist::build_pipeline({});
+  LogicSimulator sim(p.netlist);
+  const std::uint64_t a = 0x12345678u;
+  const std::uint64_t c = 0x0FEDCBA9u;
+
+  auto drive_defaults = [&] {
+    sim.set_input_word(p.ports.instr, 0);
+    sim.set_input_word(p.ports.branch_target, 0);
+    sim.set_input(p.ports.branch_taken, false);
+    sim.set_input_word(p.ports.op_a, 0);
+    sim.set_input_word(p.ports.op_b, 0);
+    sim.set_input_word(p.ports.bypass_a, 0);
+    sim.set_input_word(p.ports.bypass_b, 0);
+    sim.set_input_word(p.ports.alu_sel, 0);  // add
+    sim.set_input(p.ports.sel_imm, false);
+    sim.set_input(p.ports.sub_mode, false);
+    sim.set_input(p.ports.shift_dir, false);
+    sim.set_input_word(p.ports.logic_sel, 0);
+    sim.set_input_word(p.ports.mem_data, 0);
+    sim.set_input(p.ports.mem_is_load, false);
+    sim.set_input_word(p.ports.ctrl_noise, 0);
+  };
+
+  // Cycle 0: instruction enters FE (we only care about the datapath).
+  drive_defaults();
+  sim.step();
+  // Cycle 1 (DE): register-file read values arrive.
+  drive_defaults();
+  sim.set_input_word(p.ports.op_a, a);
+  sim.set_input_word(p.ports.op_b, c);
+  sim.step();
+  // Cycle 2 (RA): no bypassing.
+  drive_defaults();
+  sim.step();
+  // Cycle 3 (EX): ALU add; result is captured at the end of this cycle.
+  drive_defaults();
+  sim.step();
+  sim.step();  // result visible on ex_result_reg outputs in cycle 4
+  EXPECT_EQ(sim.value_word(p.taps.ex_result_reg), (a + c) & 0xFFFFFFFFull);
+  // Cycle 5: memory pass-through into me_result.
+  sim.step();
+  EXPECT_EQ(sim.value_word(p.taps.me_result_reg), (a + c) & 0xFFFFFFFFull);
+}
+
+TEST(PipelineSim, SubtractAndLogicOps) {
+  const Pipeline p = netlist::build_pipeline({});
+  LogicSimulator sim(p.netlist);
+  const std::uint64_t a = 0xDEADBEEFull;
+  const std::uint64_t c = 0x12345678ull;
+
+  auto zero_all = [&] {
+    for (GateId g : p.netlist.inputs()) sim.set_input(g, false);
+  };
+  // Subtract.
+  zero_all();
+  sim.step();
+  zero_all();
+  sim.set_input_word(p.ports.op_a, a);
+  sim.set_input_word(p.ports.op_b, c);
+  sim.step();
+  zero_all();
+  sim.step();
+  zero_all();
+  sim.set_input(p.ports.sub_mode, true);
+  sim.set_input_word(p.ports.alu_sel, 0);
+  sim.step();
+  sim.step();
+  EXPECT_EQ(sim.value_word(p.taps.ex_result_reg), (a - c) & 0xFFFFFFFFull);
+
+  // XOR (alu_sel = 1 selects the logic unit, logic_sel = 2 selects xor).
+  zero_all();
+  sim.step();
+  zero_all();
+  sim.set_input_word(p.ports.op_a, a);
+  sim.set_input_word(p.ports.op_b, c);
+  sim.step();
+  zero_all();
+  sim.step();
+  zero_all();
+  sim.set_input_word(p.ports.alu_sel, 1);
+  sim.set_input_word(p.ports.logic_sel, 2);
+  sim.step();
+  sim.step();
+  EXPECT_EQ(sim.value_word(p.taps.ex_result_reg), (a ^ c) & 0xFFFFFFFFull);
+}
+
+}  // namespace
+}  // namespace terrors::sim

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/accumulator.hpp"
+#include "support/check.hpp"
+#include "support/math.hpp"
+#include "support/rng.hpp"
+
+namespace terrors::support {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.next_u64() == b.next_u64() ? 1 : 0;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, SplitIsIndependentOfDrawOrder) {
+  Rng a(7);
+  Rng b(7);
+  (void)b.next_u64();  // advance one stream
+  Rng sa = a.split(3);
+  Rng sb = b.split(3);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(sa.next_u64(), sb.next_u64());
+}
+
+TEST(Rng, SplitTagsProduceDistinctStreams) {
+  Rng root(5);
+  Rng s1 = root.split(1);
+  Rng s2 = root.split(2);
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng r(13);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[r.uniform_index(7)];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(17);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.02);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng r(19);
+  std::vector<double> w = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[r.weighted_index(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[1] / 20000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 20000.0, 0.6, 0.02);
+}
+
+TEST(Rng, InvalidArgumentsThrow) {
+  Rng r(1);
+  EXPECT_THROW(r.uniform_index(0), std::invalid_argument);
+  EXPECT_THROW(r.normal(0.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(r.weighted_index({}), std::invalid_argument);
+  EXPECT_THROW(r.weighted_index({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Math, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-10);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.024997895148220435, 1e-10);
+}
+
+class NormalQuantileRoundtrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileRoundtrip, CdfOfQuantileIsIdentity) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NormalQuantileRoundtrip,
+                         ::testing::Values(1e-6, 1e-4, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99,
+                                           0.9999, 1.0 - 1e-6));
+
+TEST(Math, LogGammaMatchesFactorials) {
+  double fact = 1.0;
+  for (int n = 1; n <= 15; ++n) {
+    EXPECT_NEAR(std::exp(log_gamma(n + 1.0)), fact * n, fact * n * 1e-10);
+    fact *= n;
+  }
+}
+
+TEST(Math, GammaPQComplementary) {
+  for (double a : {0.5, 1.0, 3.0, 10.0, 100.0}) {
+    for (double x : {0.1, 1.0, 5.0, 50.0, 200.0}) {
+      EXPECT_NEAR(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(Math, PoissonCdfMatchesDirectSum) {
+  const double lambda = 4.2;
+  double direct = 0.0;
+  double term = std::exp(-lambda);
+  for (std::int64_t k = 0; k <= 12; ++k) {
+    direct += term;
+    EXPECT_NEAR(poisson_cdf(k, lambda), direct, 1e-10) << "k=" << k;
+    term *= lambda / static_cast<double>(k + 1);
+  }
+}
+
+TEST(Math, PoissonCdfEdgeCases) {
+  EXPECT_EQ(poisson_cdf(-1, 3.0), 0.0);
+  EXPECT_EQ(poisson_cdf(5, 0.0), 1.0);
+  EXPECT_NEAR(poisson_cdf(1000000, 10.0), 1.0, 1e-12);
+}
+
+TEST(Math, PoissonPmfSumsToCdf) {
+  const double lambda = 7.7;
+  double acc = 0.0;
+  for (std::int64_t k = 0; k <= 30; ++k) {
+    acc += poisson_pmf(k, lambda);
+    EXPECT_NEAR(acc, poisson_cdf(k, lambda), 1e-9);
+  }
+}
+
+TEST(Accumulator, MatchesDirectMoments) {
+  const std::vector<double> xs = {1.5, -2.0, 0.25, 7.0, 3.0, -1.0, 4.5};
+  MomentAccumulator acc;
+  for (double x : xs) acc.add(x);
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double m2 = 0.0;
+  double m3 = 0.0;
+  double m4 = 0.0;
+  for (double x : xs) {
+    const double d = x - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+    m4 += d * d * d * d;
+  }
+  const auto n = static_cast<double>(xs.size());
+  EXPECT_NEAR(acc.mean(), mean, 1e-12);
+  EXPECT_NEAR(acc.variance(), m2 / n, 1e-12);
+  EXPECT_NEAR(acc.central_moment3(), m3 / n, 1e-9);
+  EXPECT_NEAR(acc.central_moment4(), m4 / n, 1e-9);
+  EXPECT_EQ(acc.min(), -2.0);
+  EXPECT_EQ(acc.max(), 7.0);
+}
+
+TEST(Accumulator, MergeEqualsBulk) {
+  Rng r(23);
+  MomentAccumulator all;
+  MomentAccumulator a;
+  MomentAccumulator b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-8);
+  EXPECT_NEAR(a.central_moment3(), all.central_moment3(), 1e-6);
+  EXPECT_NEAR(a.central_moment4(), all.central_moment4(), 1e-5);
+  EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(TE_REQUIRE(false, "nope"), std::invalid_argument);
+  EXPECT_NO_THROW(TE_REQUIRE(true, ""));
+}
+
+TEST(Check, CheckThrowsLogicError) { EXPECT_THROW(TE_CHECK(false, "bug"), std::logic_error); }
+
+}  // namespace
+}  // namespace terrors::support

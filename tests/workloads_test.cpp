@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/cfg.hpp"
+#include "isa/executor.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/specs.hpp"
+
+namespace terrors::workloads {
+namespace {
+
+TEST(Specs, TwelveBenchmarksMatchingTable2) {
+  const auto& specs = mibench_specs();
+  ASSERT_EQ(specs.size(), 12u);
+  // Table 2 basic-block counts, in order.
+  const int blocks[] = {86, 72, 70, 184, 49, 56, 174, 69, 192, 133, 75, 80};
+  const std::uint64_t instrs[] = {1487629739ull, 589809283ull, 254491123ull, 1167201ull,
+                                  782002182ull,  212201598ull, 670620091ull, 66490215ull,
+                                  743108760ull,  27984283ull,  473017210ull, 497219812ull};
+  std::uint64_t total = 0;
+  int total_blocks = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].basic_blocks, blocks[i]) << specs[i].name;
+    EXPECT_EQ(specs[i].paper_instructions, instrs[i]) << specs[i].name;
+    total += specs[i].paper_instructions;
+    total_blocks += specs[i].basic_blocks;
+  }
+  // Table 2 totals.
+  EXPECT_EQ(total, 5805741497ull);
+  EXPECT_EQ(total_blocks, 1240);
+}
+
+TEST(Specs, TwoPerCategory) {
+  std::map<Category, int> count;
+  for (const auto& s : mibench_specs()) ++count[s.category];
+  EXPECT_EQ(count.size(), 6u);
+  for (const auto& [cat, n] : count) EXPECT_EQ(n, 2) << category_name(cat);
+}
+
+TEST(Specs, SimulatedInstructionScaling) {
+  const auto& s = mibench_specs()[0];  // basicmath
+  EXPECT_EQ(s.simulated_instructions(1e-4, 1000), 148762u);
+  // Floor applies for tiny benchmarks.
+  const auto& patricia = mibench_specs()[3];
+  EXPECT_EQ(patricia.simulated_instructions(1e-4, 20000), 20000u);
+}
+
+class GeneratedProgram : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GeneratedProgram, HasExactBlockCountAndValidates) {
+  const auto& spec = mibench_specs()[GetParam()];
+  const isa::Program p = generate_program(spec);
+  EXPECT_EQ(p.block_count(), static_cast<std::size_t>(spec.basic_blocks));
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST_P(GeneratedProgram, ExecutesToBudgetAndCoversBlocks) {
+  const auto& spec = mibench_specs()[GetParam()];
+  const isa::Program p = generate_program(spec);
+  const isa::Cfg cfg(p);
+  isa::ExecutorConfig ecfg;
+  ecfg.max_instructions = 30000;
+  isa::Executor ex(p, cfg, ecfg);
+  const auto inputs = generate_inputs(spec, 1, 99);
+  const std::uint64_t n = ex.run(inputs[0]);
+  EXPECT_EQ(n, 30000u);  // the outer loop is long enough to hit any budget
+  // A healthy fraction of blocks execute.
+  std::size_t executed = 0;
+  for (const auto& bp : ex.profile().blocks) executed += bp.executions > 0 ? 1 : 0;
+  EXPECT_GT(executed, p.block_count() / 3);
+}
+
+TEST_P(GeneratedProgram, DeterministicInSeed) {
+  const auto& spec = mibench_specs()[GetParam()];
+  const isa::Program a = generate_program(spec);
+  const isa::Program b = generate_program(spec);
+  ASSERT_EQ(a.block_count(), b.block_count());
+  for (isa::BlockId i = 0; i < a.block_count(); ++i) {
+    ASSERT_EQ(a.block(i).size(), b.block(i).size());
+    for (std::size_t k = 0; k < a.block(i).size(); ++k)
+      EXPECT_EQ(isa::encode(a.block(i).instructions[k]), isa::encode(b.block(i).instructions[k]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelve, GeneratedProgram, ::testing::Range<std::size_t>(0, 12),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           std::string n{mibench_specs()[info.param].name};
+                           for (auto& c : n)
+                             if (c == '.') c = '_';
+                           return n;
+                         });
+
+TEST(GeneratedInputs, ShapedByCategory) {
+  const auto& gsm = mibench_specs()[11];  // gsm.decode: wide operands
+  const auto& patricia = mibench_specs()[3];
+  const auto gi = generate_inputs(gsm, 4, 1);
+  const auto pi = generate_inputs(patricia, 4, 1);
+  // Patricia's data registers are masked to 12 bits.
+  for (const auto& in : pi) {
+    for (int d = 8; d < 16; ++d) EXPECT_LE(in.registers[d], 0xFFFu | patricia.operands.or_bias);
+  }
+  // Distinct runs have distinct memory seeds.
+  EXPECT_NE(gi[0].memory_seed, gi[1].memory_seed);
+}
+
+TEST(GeneratedInputs, ConstantRegistersCarryShape) {
+  const auto& spec = mibench_specs()[0];
+  const auto in = generate_inputs(spec, 1, 5)[0];
+  EXPECT_EQ(in.registers[28], spec.operands.and_mask);
+  EXPECT_EQ(in.registers[29], spec.operands.or_bias);
+}
+
+TEST(ExecutorConfigFor, SplitsBudgetAcrossRuns) {
+  const auto& spec = mibench_specs()[0];
+  const auto cfg = executor_config_for(spec, 4, 1e-4);
+  EXPECT_EQ(cfg.max_instructions, spec.simulated_instructions(1e-4) / 4);
+}
+
+TEST(GeneratedProgram, DifferentBenchmarksDiffer) {
+  const isa::Program a = generate_program(mibench_specs()[0]);
+  const isa::Program b = generate_program(mibench_specs()[1]);
+  EXPECT_NE(a.block_count(), b.block_count());
+}
+
+}  // namespace
+}  // namespace terrors::workloads

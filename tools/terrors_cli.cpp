@@ -1,0 +1,226 @@
+// terrors — command-line front end to the library.
+//
+//   terrors info                         pipeline + operating-point summary
+//   terrors list                         available benchmarks
+//   terrors program <name>               generated program listing
+//   terrors report [--period P] [--n N]  signoff-style timing report
+//   terrors analyze <name> [--period P] [--scale S] [--runs R]
+//                                        full error-rate analysis row
+//   terrors vcd <name> [--cycles N]      VCD dump of a benchmark window
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "dta/pipeline_driver.hpp"
+#include "netlist/pipeline.hpp"
+#include "perf/ts_model.hpp"
+#include "sim/vcd.hpp"
+#include "timing/report.hpp"
+#include "timing/sta.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/specs.hpp"
+
+using namespace terrors;
+
+namespace {
+
+double flag(int argc, char** argv, const char* name, double fallback) {
+  const std::string prefix = std::string(name) + "=";
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind(prefix, 0) == 0) return std::stod(a.substr(prefix.size()));
+  }
+  return fallback;
+}
+
+const workloads::WorkloadSpec* find_spec(const char* name) {
+  for (const auto& s : workloads::mibench_specs()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const netlist::Pipeline& pipe() {
+  static const netlist::Pipeline p = netlist::build_pipeline({});
+  return p;
+}
+
+int cmd_info() {
+  const auto stats = pipe().netlist.stats();
+  const timing::Sta sta(pipe().netlist);
+  std::printf("synthetic 6-stage in-order integer pipeline\n");
+  std::printf("  gates          : %zu (%zu combinational)\n", stats.gates, stats.combinational);
+  std::printf("  flip-flops     : %zu\n", stats.dffs);
+  std::printf("  primary inputs : %zu, outputs: %zu\n", stats.inputs, stats.outputs);
+  std::printf("  static fmax    : %.1f MHz\n", sta.max_frequency_mhz());
+  for (std::uint8_t s = 0; s < netlist::Pipeline::kStages; ++s) {
+    std::printf("  stage %d        : %zu endpoints, worst slack @1300ps = %.1f ps\n", s,
+                pipe().netlist.stage_endpoints(s).size(),
+                sta.worst_stage_slack(s, timing::TimingSpec{1300.0}));
+  }
+  const perf::TsProcessorModel ts;
+  std::printf("  TS break-even  : %.3f %% error rate at 1.15x\n",
+              100.0 * ts.break_even_error_rate());
+  return 0;
+}
+
+int cmd_list() {
+  std::printf("%-14s %-11s %6s %15s\n", "name", "category", "blocks", "instructions");
+  for (const auto& s : workloads::mibench_specs())
+    std::printf("%-14s %-11s %6d %15llu\n", s.name.c_str(),
+                std::string(workloads::category_name(s.category)).c_str(), s.basic_blocks,
+                static_cast<unsigned long long>(s.paper_instructions));
+  return 0;
+}
+
+int cmd_program(const char* name) {
+  const auto* spec = find_spec(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name);
+    return 1;
+  }
+  std::fputs(workloads::generate_program(*spec).to_string().c_str(), stdout);
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  const double period = flag(argc, argv, "--period", 1300.0);
+  const auto n = static_cast<std::size_t>(flag(argc, argv, "--n", 10));
+  timing::PathEnumerator paths(pipe().netlist);
+  const timing::VariationModel vm(pipe().netlist, {});
+  timing::ReportConfig cfg;
+  cfg.max_paths = n;
+  cfg.show_statistics = true;
+  timing::write_timing_report(std::cout, pipe().netlist, timing::TimingSpec{period}, paths, &vm,
+                              cfg);
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv, const char* name) {
+  const auto* spec = find_spec(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name);
+    return 1;
+  }
+  const double period = flag(argc, argv, "--period", 1300.0);
+  const double scale = flag(argc, argv, "--scale", 1e-4);
+  const auto runs = static_cast<std::size_t>(flag(argc, argv, "--runs", 4));
+
+  core::FrameworkConfig cfg;
+  cfg.spec = timing::TimingSpec{period};
+  cfg.execution_scale = 1.0 / scale;
+  core::ErrorRateFramework framework(pipe(), cfg);
+  framework.set_executor_config(workloads::executor_config_for(*spec, runs, scale));
+  const auto r = framework.analyze(workloads::generate_program(*spec),
+                                   workloads::generate_inputs(*spec, runs, 2026));
+  const perf::TsProcessorModel ts;
+  std::printf("%s @ %.1f MHz (scale %.0e, %zu runs)\n", spec->name.c_str(),
+              cfg.spec.frequency_mhz(), scale, runs);
+  std::printf("  instructions     : %llu simulated\n",
+              static_cast<unsigned long long>(r.instructions));
+  std::printf("  error rate       : %.4f %% (SD %.4f %%)\n", 100.0 * r.estimate.rate_mean(),
+              100.0 * r.estimate.rate_sd());
+  std::printf("  d_K(lambda)      : %.4f   d_K(R_E): %.4f\n", r.estimate.dk_lambda,
+              r.estimate.dk_count);
+  std::printf("  train / sim time : %.2f s / %.3f s\n", r.training_seconds,
+              r.simulation_seconds);
+  std::printf("  TS net perf      : %+.2f %%\n",
+              100.0 * ts.performance_improvement(std::min(1.0, r.estimate.rate_mean())));
+  return 0;
+}
+
+int cmd_vcd(int argc, char** argv, const char* name) {
+  const auto* spec = find_spec(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown benchmark '%s'\n", name);
+    return 1;
+  }
+  const auto cycles = static_cast<std::size_t>(flag(argc, argv, "--cycles", 64));
+  // Collect sampled contexts into a short slot stream.
+  const isa::Program program = workloads::generate_program(*spec);
+  const isa::Cfg cfg(program);
+  isa::ExecutorConfig ecfg;
+  ecfg.max_instructions = 4000;
+  isa::Executor ex(program, cfg, ecfg);
+  ex.run(workloads::generate_inputs(*spec, 1, 2026)[0]);
+  std::vector<dta::FetchSlot> slots;
+  for (int i = 0; i < 6; ++i) slots.push_back(dta::FetchSlot::nop(4u * static_cast<std::uint32_t>(i)));
+  for (isa::BlockId b = 0; b < program.block_count() && slots.size() < cycles; ++b) {
+    for (const auto& es : ex.profile().blocks[b].edge_samples) {
+      if (es.samples.empty()) continue;
+      const auto& sample = es.samples.front();
+      for (std::size_t k = 0; k < sample.instrs.size() && slots.size() < cycles; ++k)
+        slots.push_back(
+            dta::FetchSlot::from_context(program.block(b).instructions[k], sample.instrs[k]));
+      break;
+    }
+  }
+  // Watch the architectural taps.
+  std::vector<netlist::GateId> watched;
+  auto add_word = [&](const std::vector<netlist::GateId>& w) {
+    watched.insert(watched.end(), w.begin(), w.end());
+  };
+  add_word(pipe().taps.pc_reg);
+  add_word(pipe().taps.ex_result_reg);
+  add_word(pipe().taps.cc_reg);
+  sim::LogicSimulator simulator(pipe().netlist);
+  sim::VcdWriter writer(std::cout, pipe().netlist, watched, "1ps", 1300.0);
+  dta::PipelineDriver driver(pipe());
+  auto traces = driver.run(slots);  // for structure; re-run with a watcher:
+  (void)traces;
+  // Re-drive manually so we can sample into the VCD.
+  simulator.reset();
+  for (std::size_t t = 0; t < slots.size(); ++t) {
+    // Reuse the driver's stage skew through a fresh driver run would not
+    // expose per-cycle sampling; drive the datapath inputs directly.
+    simulator.set_input_word(pipe().ports.instr, slots[t].word);
+    if (t >= 1) {
+      simulator.set_input_word(pipe().ports.op_a, slots[t - 1].ex.a);
+      simulator.set_input_word(pipe().ports.op_b, slots[t - 1].ex.b);
+    }
+    if (t >= 3) {
+      const auto d = dta::ex_drive_for(slots[t - 3].ex.op);
+      simulator.set_input_word(pipe().ports.alu_sel, d.alu_sel);
+      simulator.set_input_word(pipe().ports.logic_sel, d.logic_sel);
+      simulator.set_input(pipe().ports.sel_imm, d.sel_imm);
+      simulator.set_input(pipe().ports.sub_mode, d.sub_mode);
+      simulator.set_input(pipe().ports.shift_dir, d.shift_dir);
+    }
+    simulator.step();
+    writer.sample(simulator);
+  }
+  return 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: terrors <command> [options]\n"
+      "  info                          pipeline and operating-point summary\n"
+      "  list                          available benchmarks\n"
+      "  program <name>                print the generated program\n"
+      "  report [--period=P] [--n=N]   signoff-style timing report\n"
+      "  analyze <name> [--period=P] [--scale=S] [--runs=R]\n"
+      "  vcd <name> [--cycles=N]       dump a VCD window to stdout\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "info") return cmd_info();
+  if (cmd == "list") return cmd_list();
+  if (cmd == "report") return cmd_report(argc, argv);
+  if (cmd == "program" && argc >= 3) return cmd_program(argv[2]);
+  if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc, argv, argv[2]);
+  if (cmd == "vcd" && argc >= 3) return cmd_vcd(argc, argv, argv[2]);
+  usage();
+  return 1;
+}
