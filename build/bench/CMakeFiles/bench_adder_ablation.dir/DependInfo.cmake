@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_adder_ablation.cpp" "bench/CMakeFiles/bench_adder_ablation.dir/bench_adder_ablation.cpp.o" "gcc" "bench/CMakeFiles/bench_adder_ablation.dir/bench_adder_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/terrors_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dta/CMakeFiles/terrors_dta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/terrors_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/terrors_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/terrors_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/stat/CMakeFiles/terrors_stat.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/terrors_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/terrors_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/terrors_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/terrors_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

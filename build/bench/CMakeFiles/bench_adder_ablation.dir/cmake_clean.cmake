@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adder_ablation.dir/bench_adder_ablation.cpp.o"
+  "CMakeFiles/bench_adder_ablation.dir/bench_adder_ablation.cpp.o.d"
+  "bench_adder_ablation"
+  "bench_adder_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adder_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_graph_dta.dir/bench_baseline_graph_dta.cpp.o"
+  "CMakeFiles/bench_baseline_graph_dta.dir/bench_baseline_graph_dta.cpp.o.d"
+  "bench_baseline_graph_dta"
+  "bench_baseline_graph_dta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_graph_dta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

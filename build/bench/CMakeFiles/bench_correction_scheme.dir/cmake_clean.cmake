@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_correction_scheme.dir/bench_correction_scheme.cpp.o"
+  "CMakeFiles/bench_correction_scheme.dir/bench_correction_scheme.cpp.o.d"
+  "bench_correction_scheme"
+  "bench_correction_scheme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correction_scheme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dta_micro.
+# This may be replaced when dependencies are built.

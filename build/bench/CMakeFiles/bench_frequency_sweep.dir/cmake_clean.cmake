@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frequency_sweep.dir/bench_frequency_sweep.cpp.o"
+  "CMakeFiles/bench_frequency_sweep.dir/bench_frequency_sweep.cpp.o.d"
+  "bench_frequency_sweep"
+  "bench_frequency_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frequency_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

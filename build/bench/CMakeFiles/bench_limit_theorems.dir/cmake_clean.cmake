@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_limit_theorems.dir/bench_limit_theorems.cpp.o"
+  "CMakeFiles/bench_limit_theorems.dir/bench_limit_theorems.cpp.o.d"
+  "bench_limit_theorems"
+  "bench_limit_theorems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_limit_theorems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

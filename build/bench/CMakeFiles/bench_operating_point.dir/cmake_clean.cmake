@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_operating_point.dir/bench_operating_point.cpp.o"
+  "CMakeFiles/bench_operating_point.dir/bench_operating_point.cpp.o.d"
+  "bench_operating_point"
+  "bench_operating_point.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_operating_point.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chip_lottery.dir/chip_lottery.cpp.o"
+  "CMakeFiles/chip_lottery.dir/chip_lottery.cpp.o.d"
+  "chip_lottery"
+  "chip_lottery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chip_lottery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

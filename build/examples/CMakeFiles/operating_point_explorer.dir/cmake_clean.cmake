@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operating_point_explorer.dir/operating_point_explorer.cpp.o"
+  "CMakeFiles/operating_point_explorer.dir/operating_point_explorer.cpp.o.d"
+  "operating_point_explorer"
+  "operating_point_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operating_point_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

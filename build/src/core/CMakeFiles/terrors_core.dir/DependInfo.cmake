@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/error_model.cpp" "src/core/CMakeFiles/terrors_core.dir/error_model.cpp.o" "gcc" "src/core/CMakeFiles/terrors_core.dir/error_model.cpp.o.d"
+  "/root/repo/src/core/estimator.cpp" "src/core/CMakeFiles/terrors_core.dir/estimator.cpp.o" "gcc" "src/core/CMakeFiles/terrors_core.dir/estimator.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/terrors_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/terrors_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/marginal.cpp" "src/core/CMakeFiles/terrors_core.dir/marginal.cpp.o" "gcc" "src/core/CMakeFiles/terrors_core.dir/marginal.cpp.o.d"
+  "/root/repo/src/core/monte_carlo.cpp" "src/core/CMakeFiles/terrors_core.dir/monte_carlo.cpp.o" "gcc" "src/core/CMakeFiles/terrors_core.dir/monte_carlo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dta/CMakeFiles/terrors_dta.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/terrors_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stat/CMakeFiles/terrors_stat.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/terrors_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/terrors_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/terrors_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/terrors_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrors_core.dir/error_model.cpp.o"
+  "CMakeFiles/terrors_core.dir/error_model.cpp.o.d"
+  "CMakeFiles/terrors_core.dir/estimator.cpp.o"
+  "CMakeFiles/terrors_core.dir/estimator.cpp.o.d"
+  "CMakeFiles/terrors_core.dir/framework.cpp.o"
+  "CMakeFiles/terrors_core.dir/framework.cpp.o.d"
+  "CMakeFiles/terrors_core.dir/marginal.cpp.o"
+  "CMakeFiles/terrors_core.dir/marginal.cpp.o.d"
+  "CMakeFiles/terrors_core.dir/monte_carlo.cpp.o"
+  "CMakeFiles/terrors_core.dir/monte_carlo.cpp.o.d"
+  "libterrors_core.a"
+  "libterrors_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrors_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

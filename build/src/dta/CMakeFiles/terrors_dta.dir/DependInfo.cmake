@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dta/control_characterizer.cpp" "src/dta/CMakeFiles/terrors_dta.dir/control_characterizer.cpp.o" "gcc" "src/dta/CMakeFiles/terrors_dta.dir/control_characterizer.cpp.o.d"
+  "/root/repo/src/dta/datapath_model.cpp" "src/dta/CMakeFiles/terrors_dta.dir/datapath_model.cpp.o" "gcc" "src/dta/CMakeFiles/terrors_dta.dir/datapath_model.cpp.o.d"
+  "/root/repo/src/dta/dts_analyzer.cpp" "src/dta/CMakeFiles/terrors_dta.dir/dts_analyzer.cpp.o" "gcc" "src/dta/CMakeFiles/terrors_dta.dir/dts_analyzer.cpp.o.d"
+  "/root/repo/src/dta/graph_dta.cpp" "src/dta/CMakeFiles/terrors_dta.dir/graph_dta.cpp.o" "gcc" "src/dta/CMakeFiles/terrors_dta.dir/graph_dta.cpp.o.d"
+  "/root/repo/src/dta/pipeline_driver.cpp" "src/dta/CMakeFiles/terrors_dta.dir/pipeline_driver.cpp.o" "gcc" "src/dta/CMakeFiles/terrors_dta.dir/pipeline_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/terrors_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/terrors_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/terrors_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/terrors_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/stat/CMakeFiles/terrors_stat.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/terrors_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

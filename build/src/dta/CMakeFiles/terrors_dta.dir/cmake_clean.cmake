@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrors_dta.dir/control_characterizer.cpp.o"
+  "CMakeFiles/terrors_dta.dir/control_characterizer.cpp.o.d"
+  "CMakeFiles/terrors_dta.dir/datapath_model.cpp.o"
+  "CMakeFiles/terrors_dta.dir/datapath_model.cpp.o.d"
+  "CMakeFiles/terrors_dta.dir/dts_analyzer.cpp.o"
+  "CMakeFiles/terrors_dta.dir/dts_analyzer.cpp.o.d"
+  "CMakeFiles/terrors_dta.dir/graph_dta.cpp.o"
+  "CMakeFiles/terrors_dta.dir/graph_dta.cpp.o.d"
+  "CMakeFiles/terrors_dta.dir/pipeline_driver.cpp.o"
+  "CMakeFiles/terrors_dta.dir/pipeline_driver.cpp.o.d"
+  "libterrors_dta.a"
+  "libterrors_dta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrors_dta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

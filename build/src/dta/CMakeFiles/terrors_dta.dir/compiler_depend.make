@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for terrors_dta.
+# This may be replaced when dependencies are built.

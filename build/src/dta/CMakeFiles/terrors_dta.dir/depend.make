@@ -1,0 +1,2 @@
+# Empty dependencies file for terrors_dta.
+# This may be replaced when dependencies are built.

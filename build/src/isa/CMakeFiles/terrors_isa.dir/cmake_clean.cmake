@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrors_isa.dir/assembler.cpp.o"
+  "CMakeFiles/terrors_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/terrors_isa.dir/cfg.cpp.o"
+  "CMakeFiles/terrors_isa.dir/cfg.cpp.o.d"
+  "CMakeFiles/terrors_isa.dir/executor.cpp.o"
+  "CMakeFiles/terrors_isa.dir/executor.cpp.o.d"
+  "CMakeFiles/terrors_isa.dir/isa.cpp.o"
+  "CMakeFiles/terrors_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/terrors_isa.dir/program.cpp.o"
+  "CMakeFiles/terrors_isa.dir/program.cpp.o.d"
+  "libterrors_isa.a"
+  "libterrors_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrors_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

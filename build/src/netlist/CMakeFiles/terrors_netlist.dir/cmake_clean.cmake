@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrors_netlist.dir/builder.cpp.o"
+  "CMakeFiles/terrors_netlist.dir/builder.cpp.o.d"
+  "CMakeFiles/terrors_netlist.dir/gate.cpp.o"
+  "CMakeFiles/terrors_netlist.dir/gate.cpp.o.d"
+  "CMakeFiles/terrors_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/terrors_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/terrors_netlist.dir/pipeline.cpp.o"
+  "CMakeFiles/terrors_netlist.dir/pipeline.cpp.o.d"
+  "libterrors_netlist.a"
+  "libterrors_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrors_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/ts_model.cpp" "src/perf/CMakeFiles/terrors_perf.dir/ts_model.cpp.o" "gcc" "src/perf/CMakeFiles/terrors_perf.dir/ts_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/terrors_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/terrors_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/terrors_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stat/CMakeFiles/terrors_stat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrors_perf.dir/ts_model.cpp.o"
+  "CMakeFiles/terrors_perf.dir/ts_model.cpp.o.d"
+  "libterrors_perf.a"
+  "libterrors_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrors_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libterrors_perf.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/activation.cpp" "src/sim/CMakeFiles/terrors_sim.dir/activation.cpp.o" "gcc" "src/sim/CMakeFiles/terrors_sim.dir/activation.cpp.o.d"
+  "/root/repo/src/sim/logic_sim.cpp" "src/sim/CMakeFiles/terrors_sim.dir/logic_sim.cpp.o" "gcc" "src/sim/CMakeFiles/terrors_sim.dir/logic_sim.cpp.o.d"
+  "/root/repo/src/sim/vcd.cpp" "src/sim/CMakeFiles/terrors_sim.dir/vcd.cpp.o" "gcc" "src/sim/CMakeFiles/terrors_sim.dir/vcd.cpp.o.d"
+  "/root/repo/src/sim/vcd_parser.cpp" "src/sim/CMakeFiles/terrors_sim.dir/vcd_parser.cpp.o" "gcc" "src/sim/CMakeFiles/terrors_sim.dir/vcd_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/terrors_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/terrors_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrors_sim.dir/activation.cpp.o"
+  "CMakeFiles/terrors_sim.dir/activation.cpp.o.d"
+  "CMakeFiles/terrors_sim.dir/logic_sim.cpp.o"
+  "CMakeFiles/terrors_sim.dir/logic_sim.cpp.o.d"
+  "CMakeFiles/terrors_sim.dir/vcd.cpp.o"
+  "CMakeFiles/terrors_sim.dir/vcd.cpp.o.d"
+  "CMakeFiles/terrors_sim.dir/vcd_parser.cpp.o"
+  "CMakeFiles/terrors_sim.dir/vcd_parser.cpp.o.d"
+  "libterrors_sim.a"
+  "libterrors_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrors_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stat/clark.cpp" "src/stat/CMakeFiles/terrors_stat.dir/clark.cpp.o" "gcc" "src/stat/CMakeFiles/terrors_stat.dir/clark.cpp.o.d"
+  "/root/repo/src/stat/discrete.cpp" "src/stat/CMakeFiles/terrors_stat.dir/discrete.cpp.o" "gcc" "src/stat/CMakeFiles/terrors_stat.dir/discrete.cpp.o.d"
+  "/root/repo/src/stat/gaussian.cpp" "src/stat/CMakeFiles/terrors_stat.dir/gaussian.cpp.o" "gcc" "src/stat/CMakeFiles/terrors_stat.dir/gaussian.cpp.o.d"
+  "/root/repo/src/stat/metrics.cpp" "src/stat/CMakeFiles/terrors_stat.dir/metrics.cpp.o" "gcc" "src/stat/CMakeFiles/terrors_stat.dir/metrics.cpp.o.d"
+  "/root/repo/src/stat/poisson_binomial.cpp" "src/stat/CMakeFiles/terrors_stat.dir/poisson_binomial.cpp.o" "gcc" "src/stat/CMakeFiles/terrors_stat.dir/poisson_binomial.cpp.o.d"
+  "/root/repo/src/stat/poisson_mixture.cpp" "src/stat/CMakeFiles/terrors_stat.dir/poisson_mixture.cpp.o" "gcc" "src/stat/CMakeFiles/terrors_stat.dir/poisson_mixture.cpp.o.d"
+  "/root/repo/src/stat/samples.cpp" "src/stat/CMakeFiles/terrors_stat.dir/samples.cpp.o" "gcc" "src/stat/CMakeFiles/terrors_stat.dir/samples.cpp.o.d"
+  "/root/repo/src/stat/stein.cpp" "src/stat/CMakeFiles/terrors_stat.dir/stein.cpp.o" "gcc" "src/stat/CMakeFiles/terrors_stat.dir/stein.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/terrors_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

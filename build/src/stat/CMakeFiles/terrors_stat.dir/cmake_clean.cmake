@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrors_stat.dir/clark.cpp.o"
+  "CMakeFiles/terrors_stat.dir/clark.cpp.o.d"
+  "CMakeFiles/terrors_stat.dir/discrete.cpp.o"
+  "CMakeFiles/terrors_stat.dir/discrete.cpp.o.d"
+  "CMakeFiles/terrors_stat.dir/gaussian.cpp.o"
+  "CMakeFiles/terrors_stat.dir/gaussian.cpp.o.d"
+  "CMakeFiles/terrors_stat.dir/metrics.cpp.o"
+  "CMakeFiles/terrors_stat.dir/metrics.cpp.o.d"
+  "CMakeFiles/terrors_stat.dir/poisson_binomial.cpp.o"
+  "CMakeFiles/terrors_stat.dir/poisson_binomial.cpp.o.d"
+  "CMakeFiles/terrors_stat.dir/poisson_mixture.cpp.o"
+  "CMakeFiles/terrors_stat.dir/poisson_mixture.cpp.o.d"
+  "CMakeFiles/terrors_stat.dir/samples.cpp.o"
+  "CMakeFiles/terrors_stat.dir/samples.cpp.o.d"
+  "CMakeFiles/terrors_stat.dir/stein.cpp.o"
+  "CMakeFiles/terrors_stat.dir/stein.cpp.o.d"
+  "libterrors_stat.a"
+  "libterrors_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrors_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrors_support.dir/accumulator.cpp.o"
+  "CMakeFiles/terrors_support.dir/accumulator.cpp.o.d"
+  "CMakeFiles/terrors_support.dir/math.cpp.o"
+  "CMakeFiles/terrors_support.dir/math.cpp.o.d"
+  "CMakeFiles/terrors_support.dir/rng.cpp.o"
+  "CMakeFiles/terrors_support.dir/rng.cpp.o.d"
+  "libterrors_support.a"
+  "libterrors_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrors_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

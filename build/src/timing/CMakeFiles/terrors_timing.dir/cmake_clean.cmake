@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrors_timing.dir/paths.cpp.o"
+  "CMakeFiles/terrors_timing.dir/paths.cpp.o.d"
+  "CMakeFiles/terrors_timing.dir/report.cpp.o"
+  "CMakeFiles/terrors_timing.dir/report.cpp.o.d"
+  "CMakeFiles/terrors_timing.dir/sta.cpp.o"
+  "CMakeFiles/terrors_timing.dir/sta.cpp.o.d"
+  "CMakeFiles/terrors_timing.dir/variation.cpp.o"
+  "CMakeFiles/terrors_timing.dir/variation.cpp.o.d"
+  "libterrors_timing.a"
+  "libterrors_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrors_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrors_workloads.dir/generator.cpp.o"
+  "CMakeFiles/terrors_workloads.dir/generator.cpp.o.d"
+  "CMakeFiles/terrors_workloads.dir/specs.cpp.o"
+  "CMakeFiles/terrors_workloads.dir/specs.cpp.o.d"
+  "libterrors_workloads.a"
+  "libterrors_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrors_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/terrors_cli.dir/terrors_cli.cpp.o"
+  "CMakeFiles/terrors_cli.dir/terrors_cli.cpp.o.d"
+  "terrors"
+  "terrors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/terrors_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
