@@ -15,6 +15,7 @@ using namespace terrors;
 
 int main(int argc, char** argv) {
   const auto rs = bench::parse_scale(argc, argv);
+  bench::JsonReport report(argc, argv, "frequency_sweep");
   bool all = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--all") all = true;
@@ -48,6 +49,12 @@ int main(int argc, char** argv) {
       framework.set_executor_config(workloads::executor_config_for(spec, rs.runs, rs.scale));
       const auto inputs = workloads::generate_inputs(spec, rs.runs, 2026);
       const auto r = framework.analyze(program, inputs);
+      report.record(spec.name, {{"period_ps", period},
+                                {"rate_mean", r.estimate.rate_mean()},
+                                {"rate_sd", r.estimate.rate_sd()},
+                                {"train_seconds", r.training_seconds},
+                                {"sim_seconds", r.simulation_seconds},
+                                {"estimation_seconds", r.estimation_seconds}});
       std::printf(" %12.4f", 100.0 * r.estimate.rate_mean());
       char buf[32];
       std::snprintf(buf, sizeof buf, " %+12.2f", 100.0 * ts.performance_improvement(

@@ -17,6 +17,7 @@ using namespace terrors;
 
 int main(int argc, char** argv) {
   const auto rs = bench::parse_scale(argc, argv);
+  bench::JsonReport report(argc, argv, "table2");
   auto cfg = bench::default_config();
   cfg.execution_scale = 1.0 / rs.scale;  // evaluate the bounds at paper scale
   core::ErrorRateFramework framework(bench::pipeline(), cfg);
@@ -52,6 +53,16 @@ int main(int argc, char** argv) {
                 r.training_seconds + r.simulation_seconds, mean_pct, sd_pct,
                 r.estimate.dk_lambda, r.estimate.dk_count,
                 100.0 * ts.performance_improvement(r.estimate.rate_mean()));
+    report.record(spec.name, {{"paper_instructions", static_cast<double>(spec.paper_instructions)},
+                              {"sim_instructions", static_cast<double>(r.instructions)},
+                              {"basic_blocks", static_cast<double>(r.basic_blocks)},
+                              {"train_seconds", r.training_seconds},
+                              {"sim_seconds", r.simulation_seconds},
+                              {"estimation_seconds", r.estimation_seconds},
+                              {"rate_mean", r.estimate.rate_mean()},
+                              {"rate_sd", r.estimate.rate_sd()},
+                              {"dk_lambda", r.estimate.dk_lambda},
+                              {"dk_count", r.estimate.dk_count}});
     total_train += r.training_seconds;
     total_sim += r.simulation_seconds;
     total_sim_instr += r.instructions;

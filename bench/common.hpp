@@ -1,12 +1,20 @@
 // Shared setup for the reproduction benches: one pipeline instance, the
-// calibrated operating point, and small table-printing helpers.
+// calibrated operating point, small table-printing helpers, and the
+// machine-readable per-benchmark JSON reports that seed the perf
+// trajectory (BENCH_*.json) future optimisation PRs measure against.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/framework.hpp"
 #include "netlist/pipeline.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "perf/ts_model.hpp"
 #include "timing/sta.hpp"
 #include "workloads/generator.hpp"
@@ -53,5 +61,73 @@ inline void hr(int width = 110) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// Machine-readable per-benchmark records.  Activated by `--json=FILE`
+/// (or `--json FILE`) on the bench command line, or the
+/// TERRORS_BENCH_JSON environment variable; inert otherwise, so default
+/// bench stdout is unchanged.  On destruction writes
+///   {"bench": ..., "records": [{...}, ...], "metrics": {...}}
+/// where "metrics" is the process-wide obs::MetricsRegistry snapshot.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv, std::string bench_name)
+      : bench_name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--json=", 0) == 0) path_ = a.substr(7);
+      if (a == "--json" && i + 1 < argc) path_ = argv[i + 1];
+    }
+    if (path_.empty()) {
+      if (const char* env = std::getenv("TERRORS_BENCH_JSON")) path_ = env;
+    }
+  }
+
+  ~JsonReport() {
+    if (path_.empty()) return;
+    std::ofstream os(path_);
+    if (!os) {
+      std::fprintf(stderr, "cannot open bench JSON file '%s'\n", path_.c_str());
+      return;
+    }
+    os << "{\"bench\":";
+    obs::json_string(os, bench_name_);
+    os << ",\"records\":[";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      if (i != 0) os << ",";
+      const auto& rec = records_[i];
+      os << "{\"name\":";
+      obs::json_string(os, rec.name);
+      for (const auto& [key, value] : rec.fields) {
+        os << ",";
+        obs::json_string(os, key);
+        os << ":";
+        obs::json_number(os, value);
+      }
+      os << "}";
+    }
+    os << "],\"metrics\":";
+    obs::MetricsRegistry::instance().write_json(os);
+    os << "}\n";
+  }
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void record(std::string name,
+              std::initializer_list<std::pair<const char*, double>> fields) {
+    Record rec;
+    rec.name = std::move(name);
+    for (const auto& [key, value] : fields) rec.fields.emplace_back(key, value);
+    records_.push_back(std::move(rec));
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+  std::string bench_name_;
+  std::string path_;
+  std::vector<Record> records_;
+};
 
 }  // namespace terrors::bench

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace terrors::core {
@@ -14,10 +17,13 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 ErrorRateFramework::ErrorRateFramework(const netlist::Pipeline& pipeline, FrameworkConfig config)
     : pipeline_(pipeline), config_(config), vm_(pipeline.netlist, config.variation) {
+  obs::ScopedSpan span("framework.init");
   datapath_ = std::make_unique<dta::DatapathModel>(
       dta::DatapathModel::train(pipeline_, vm_, config_.dts));
   characterizer_ = std::make_unique<dta::ControlCharacterizer>(
       pipeline_, vm_, config_.spec, config_.dts, config_.characterizer);
+  obs::log_debug("core", "framework initialised",
+                 {{"period_ps", config_.spec.period_ps}});
 }
 
 void ErrorRateFramework::set_spec(timing::TimingSpec spec) {
@@ -30,6 +36,17 @@ void ErrorRateFramework::set_spec(timing::TimingSpec spec) {
 BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
                                             const std::vector<isa::ProgramInput>& inputs) {
   TE_REQUIRE(!inputs.empty(), "analyze() needs at least one input dataset");
+  static obs::Counter& analyze_calls =
+      obs::MetricsRegistry::instance().counter("core.analyze_calls");
+  static obs::Counter& instr_metric =
+      obs::MetricsRegistry::instance().counter("core.instructions_simulated");
+  analyze_calls.increment();
+
+  obs::ScopedSpan span("analyze");
+  span.counter("inputs", static_cast<double>(inputs.size()));
+  obs::log_info("core", "analyze start",
+                {{"program", program.name()}, {"inputs", inputs.size()}});
+
   BenchmarkResult result;
   result.name = program.name();
   result.basic_blocks = program.block_count();
@@ -40,34 +57,58 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
 
   // --- simulation phase (the paper's instrumented native execution) -----
   {
+    obs::ScopedSpan phase("simulation");
     const auto t0 = std::chrono::steady_clock::now();
     for (const auto& in : inputs) last_.executor->run(in);
     result.simulation_seconds = seconds_since(t0);
+    phase.counter("instructions",
+                  static_cast<double>(last_.executor->profile().total_instructions));
   }
   result.instructions = last_.executor->profile().total_instructions;
+  instr_metric.increment(result.instructions);
+  obs::log_info("core", "simulation phase done",
+                {{"seconds", result.simulation_seconds},
+                 {"instructions", result.instructions}});
 
   // --- training phase (gate-level control-network characterisation) -----
   {
+    obs::ScopedSpan phase("training");
     const auto t0 = std::chrono::steady_clock::now();
     last_.control = characterizer_->characterize(program, *last_.cfg, last_.executor->profile());
     result.training_seconds = seconds_since(t0);
   }
+  obs::log_info("core", "training phase done",
+                {{"seconds", result.training_seconds},
+                 {"blocks", result.basic_blocks}});
 
   // --- estimation ---------------------------------------------------------
-  const InstructionErrorModel model(*datapath_, config_.spec, config_.error_model);
-  last_.conditionals =
-      model.build(program, *last_.cfg, last_.executor->profile(), last_.control);
-  const MarginalSolver solver(program, *last_.cfg, last_.executor->profile());
-  last_.marginals = solver.solve(last_.conditionals);
+  {
+    obs::ScopedSpan phase("estimation");
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      obs::ScopedSpan build_span("error_model.build");
+      const InstructionErrorModel model(*datapath_, config_.spec, config_.error_model);
+      last_.conditionals =
+          model.build(program, *last_.cfg, last_.executor->profile(), last_.control);
+    }
+    const MarginalSolver solver(program, *last_.cfg, last_.executor->profile());
+    last_.marginals = solver.solve(last_.conditionals);
 
-  EstimatorInputs est_in;
-  est_in.program = &program;
-  est_in.profile = &last_.executor->profile();
-  est_in.conditionals = &last_.conditionals;
-  est_in.marginals = &last_.marginals;
-  est_in.execution_scale = config_.execution_scale;
-  est_in.chen_stein_radius = config_.chen_stein_radius;
-  result.estimate = estimate_error_rate(est_in);
+    obs::ScopedSpan estimate_span("estimate");
+    EstimatorInputs est_in;
+    est_in.program = &program;
+    est_in.profile = &last_.executor->profile();
+    est_in.conditionals = &last_.conditionals;
+    est_in.marginals = &last_.marginals;
+    est_in.execution_scale = config_.execution_scale;
+    est_in.chen_stein_radius = config_.chen_stein_radius;
+    result.estimate = estimate_error_rate(est_in);
+    result.estimation_seconds = seconds_since(t0);
+  }
+  obs::log_info("core", "estimation phase done",
+                {{"seconds", result.estimation_seconds},
+                 {"rate_mean", result.estimate.rate_mean()},
+                 {"rate_sd", result.estimate.rate_sd()}});
   return result;
 }
 

@@ -51,6 +51,8 @@ struct BenchmarkResult {
   std::size_t basic_blocks = 0;
   double training_seconds = 0.0;
   double simulation_seconds = 0.0;
+  /// Error-model build + marginal solve + limit-theorem estimate.
+  double estimation_seconds = 0.0;
   ErrorRateEstimate estimate;
 };
 

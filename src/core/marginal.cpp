@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace terrors::core {
@@ -12,6 +14,11 @@ using isa::BlockId;
 std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b) {
   const std::size_t n = b.size();
   TE_REQUIRE(a.size() == n * n, "matrix size mismatch");
+  static obs::Counter& solves = obs::MetricsRegistry::instance().counter("solver.linear_solves");
+  static obs::Histogram& sizes =
+      obs::MetricsRegistry::instance().histogram("solver.system_size");
+  solves.increment();
+  sizes.observe(static_cast<double>(n));
   for (std::size_t col = 0; col < n; ++col) {
     // Partial pivot.
     std::size_t pivot = col;
@@ -50,6 +57,11 @@ std::vector<BlockMarginals> MarginalSolver::solve(
     const std::vector<BlockErrorDistributions>& cond) const {
   const std::size_t nb = program_.block_count();
   TE_REQUIRE(cond.size() == nb, "conditional distributions/program mismatch");
+  obs::ScopedSpan span("marginal.solve");
+  span.counter("blocks", static_cast<double>(nb));
+  span.counter("sccs", static_cast<double>(cfg_.scc_topo_order().size()));
+  static obs::Counter& sccs_metric =
+      obs::MetricsRegistry::instance().counter("solver.sccs_processed");
   std::size_t m = 0;
   for (const auto& bd : cond) {
     if (!bd.instr.empty()) {
@@ -58,6 +70,7 @@ std::vector<BlockMarginals> MarginalSolver::solve(
     }
   }
   TE_REQUIRE(m > 0, "no instruction distributions");
+  span.counter("samples", static_cast<double>(m));
 
   std::vector<BlockMarginals> out(nb);
   for (BlockId b = 0; b < nb; ++b) {
@@ -107,6 +120,7 @@ std::vector<BlockMarginals> MarginalSolver::solve(
 
     // Solve SCCs in topological order.
     std::fill(p_in.begin(), p_in.end(), 0.0);
+    sccs_metric.increment(cfg_.scc_topo_order().size());
     for (std::uint32_t scc : cfg_.scc_topo_order()) {
       const auto& members = cfg_.scc_members(scc);
       // Skip SCCs with no executed blocks.

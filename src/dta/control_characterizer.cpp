@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 
 namespace terrors::dta {
@@ -94,6 +96,13 @@ EdgeControlDts ControlCharacterizer::characterize_edge(const isa::Program& progr
   if (sample != nullptr && !sample->instrs.empty()) base_pc = sample->instrs.front().pc;
   append_block_slots(slots, blk, base_pc, sample, 0, blk.size());
 
+  static obs::Counter& edges_metric =
+      obs::MetricsRegistry::instance().counter("dta.edges_characterized");
+  static obs::Counter& slots_metric =
+      obs::MetricsRegistry::instance().counter("dta.slots_driven");
+  edges_metric.increment();
+  slots_metric.increment(slots.size());
+
   auto cycles = driver_.run(slots);
 
   // Algorithm 2: instruction DTS = min over the stages it traverses.
@@ -115,8 +124,13 @@ EdgeControlDts ControlCharacterizer::characterize_edge(const isa::Program& progr
 std::vector<BlockControlDts> ControlCharacterizer::characterize(
     const isa::Program& program, const isa::Cfg& cfg, const isa::ProgramProfile& profile) {
   TE_REQUIRE(profile.blocks.size() == program.block_count(), "profile does not match program");
+  obs::ScopedSpan span("dta.characterize");
+  span.counter("blocks", static_cast<double>(program.block_count()));
   std::vector<BlockControlDts> out(program.block_count());
   for (BlockId b = 0; b < program.block_count(); ++b) {
+    obs::ScopedSpan block_span("dta.block");
+    block_span.counter("block", static_cast<double>(b));
+    block_span.counter("edges", static_cast<double>(cfg.indegree(b)));
     out[b].per_edge.resize(cfg.indegree(b));
     for (std::size_t j = 0; j < cfg.indegree(b); ++j)
       out[b].per_edge[j] = characterize_edge(program, cfg, profile, b,

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "dta/pipeline_driver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/math.hpp"
 
@@ -108,6 +110,7 @@ int DatapathModel::adder_chain_length(const ExContext& cur, const ExContext& pre
 DatapathModel DatapathModel::train(const netlist::Pipeline& pipeline,
                                    const timing::VariationModel& vm,
                                    const DtsConfig& dts_config) {
+  obs::ScopedSpan span("dta.datapath_train");
   // The spec used for training only shifts slack by a constant; we store
   // arrival statistics (period - setup - slack) so it cancels out.
   const timing::TimingSpec spec{10000.0, netlist::kSetupTimePs};
@@ -118,6 +121,10 @@ DatapathModel DatapathModel::train(const netlist::Pipeline& pipeline,
 
   auto measure = [&](Opcode prev_op, std::uint32_t pa, std::uint32_t pb, Opcode cur_op,
                      std::uint32_t ca, std::uint32_t cb) -> std::optional<DtsGaussian> {
+    static obs::Counter& measurements =
+        obs::MetricsRegistry::instance().counter("dta.train_measurements");
+    measurements.increment();
+    span.counter("measurements", 1.0);
     std::vector<FetchSlot> slots;
     std::uint32_t pc = 0x2000;
     for (int i = 0; i < 6; ++i) {

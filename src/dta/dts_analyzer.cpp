@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 #include "support/math.hpp"
 
@@ -199,6 +200,9 @@ std::optional<PathStat> DtsAnalyzer::endpoint_critical_activated(GateId endpoint
       TE_CHECK(best != netlist::kNoGate, "activated DP chain broke during backtrack");
       g = best;
     }
+    static obs::Counter& dp_fallbacks =
+        obs::MetricsRegistry::instance().counter("dta.dp_fallbacks");
+    dp_fallbacks.increment();
     auto it = dp_cache_.find(h);
     if (it == dp_cache_.end()) {
       TimingPath p;
@@ -234,6 +238,8 @@ std::optional<PathStat> DtsAnalyzer::endpoint_critical_activated(GateId endpoint
 std::optional<DtsGaussian> DtsAnalyzer::stage_dts(std::uint8_t stage, CycleActivation& cycle,
                                                   EndpointClass cls) {
   TE_REQUIRE(stage < nl_.stage_count(), "stage out of range");
+  static obs::Counter& queries = obs::MetricsRegistry::instance().counter("dta.stage_dts_queries");
+  queries.increment();
   last_ap_.clear();
   pending_alternates_.clear();
   for (GateId e : nl_.stage_endpoints(stage)) {

@@ -1,0 +1,26 @@
+// Minimal JSON writing helpers shared by the trace / metrics exporters.
+//
+// Deliberately tiny: the observability layer only ever *writes* JSON
+// (Chrome trace_event files, metrics snapshots, bench records), so a full
+// parser/DOM dependency would be dead weight.  Escaping follows RFC 8259;
+// non-finite doubles are emitted as null so the files stay loadable.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+
+namespace terrors::obs {
+
+/// Write `s` as a quoted JSON string, escaping quotes, backslashes,
+/// control characters, and anything below 0x20 as \uXXXX.
+void json_string(std::ostream& os, std::string_view s);
+
+/// Write a double as a JSON number (round-trippable precision); NaN and
+/// infinities become null, which JSON cannot represent.
+void json_number(std::ostream& os, double v);
+
+/// Write an unsigned integer (no precision loss through double).
+void json_number(std::ostream& os, std::uint64_t v);
+
+}  // namespace terrors::obs

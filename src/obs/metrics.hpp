@@ -1,0 +1,89 @@
+// Process-wide registry of named counters, gauges, and histograms.
+//
+// Counters are relaxed atomics so the hot layers (logic simulation, path
+// enumeration, Clark combinations) can increment them unconditionally at
+// negligible cost; histograms reuse support::MomentAccumulator, giving
+// mean / sd / central moments / min / max without storing samples.
+// Nothing is ever printed unless a caller asks for write_json() (the
+// CLI's --metrics flag, the bench JSON reports), so default output is
+// untouched.
+//
+// Hot-path idiom — resolve the handle once, then increment:
+//
+//   static obs::Counter& cycles = obs::MetricsRegistry::instance().counter("sim.cycles");
+//   cycles.increment();
+//
+// Registration is mutex-protected and handles are stable for the process
+// lifetime; increments themselves are lock-free.  Histograms and gauges
+// are not thread-safe (the pipeline is single-threaded today).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "support/accumulator.hpp"
+
+namespace terrors::obs {
+
+class Counter {
+ public:
+  void increment(std::uint64_t by = 1) { value_.fetch_add(by, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  void observe(double v) { acc_.add(v); }
+  [[nodiscard]] const support::MomentAccumulator& stats() const { return acc_; }
+  void reset() { acc_.reset(); }
+
+ private:
+  support::MomentAccumulator acc_;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Find-or-create; the returned reference is valid forever.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Zero every registered metric (registrations stay).
+  void reset();
+  /// Total number of registered metrics across the three kinds.
+  [[nodiscard]] std::size_t size() const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,...}}}
+  void write_json(std::ostream& os) const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;  ///< guards map mutation, not metric updates
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace terrors::obs

@@ -1,0 +1,125 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "support/check.hpp"
+
+namespace terrors::obs {
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+std::uint64_t Tracer::now_ns() const {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - epoch_)
+                                        .count());
+}
+
+void Tracer::reset() {
+  nodes_.clear();
+  stack_.clear();
+}
+
+std::size_t Tracer::begin_span(std::string_view name) {
+  Node node;
+  node.name = std::string(name);
+  node.start_ns = now_ns();
+  node.parent = stack_.empty() ? kNoParent : stack_.back();
+  const std::size_t index = nodes_.size();
+  nodes_.push_back(std::move(node));
+  stack_.push_back(index);
+  return index;
+}
+
+void Tracer::end_span(std::size_t index) {
+  TE_REQUIRE(index < nodes_.size(), "end_span on unknown span");
+  TE_REQUIRE(!stack_.empty() && stack_.back() == index,
+             "spans must close in strict LIFO order");
+  stack_.pop_back();
+  nodes_[index].end_ns = now_ns();
+}
+
+void Tracer::span_counter(std::size_t index, std::string_view key, double value) {
+  TE_REQUIRE(index < nodes_.size(), "span_counter on unknown span");
+  auto& counters = nodes_[index].counters;
+  for (auto& [k, v] : counters) {
+    if (k == key) {
+      v += value;  // repeated keys accumulate (per-iteration counters)
+      return;
+    }
+  }
+  counters.emplace_back(std::string(key), value);
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& node : nodes_) {
+    if (!first) os << ",";
+    first = false;
+    const std::uint64_t end = node.end_ns != 0 ? node.end_ns : node.start_ns;
+    os << "{\"name\":";
+    json_string(os, node.name);
+    os << ",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    json_number(os, node.start_ns / 1000);
+    os << ",\"dur\":";
+    json_number(os, (end - node.start_ns) / 1000);
+    if (!node.counters.empty()) {
+      os << ",\"args\":{";
+      bool cfirst = true;
+      for (const auto& [key, value] : node.counters) {
+        if (!cfirst) os << ",";
+        cfirst = false;
+        json_string(os, key);
+        os << ":";
+        json_number(os, value);
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::write_text_tree(std::ostream& os) const {
+  // Children, in recording order, per parent.
+  std::vector<std::vector<std::size_t>> children(nodes_.size());
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].parent == kNoParent) {
+      roots.push_back(i);
+    } else {
+      children[nodes_[i].parent].push_back(i);
+    }
+  }
+  // Iterative pre-order walk.
+  struct Frame {
+    std::size_t index;
+    int depth;
+  };
+  std::vector<Frame> work;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) work.push_back({*it, 0});
+  while (!work.empty()) {
+    const Frame f = work.back();
+    work.pop_back();
+    const Node& node = nodes_[f.index];
+    const std::uint64_t end = node.end_ns != 0 ? node.end_ns : node.start_ns;
+    for (int d = 0; d < f.depth; ++d) os << "  ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(end - node.start_ns) / 1e6);
+    os << node.name << "  " << buf << " ms";
+    for (const auto& [key, value] : node.counters) {
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      os << "  " << key << "=" << buf;
+    }
+    os << "\n";
+    const auto& kids = children[f.index];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) work.push_back({*it, f.depth + 1});
+  }
+}
+
+}  // namespace terrors::obs

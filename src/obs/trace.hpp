@@ -1,0 +1,105 @@
+// Scoped-span tracing: a hierarchical phase tree over the estimation
+// pipeline (simulation → training → estimation, with nested DTA and
+// solver spans), exportable as a Chrome trace_event JSON file
+// (chrome://tracing, Perfetto) or rendered as a plain-text tree.
+//
+// Tracing is OFF by default: a ScopedSpan constructed while the tracer is
+// disabled is a no-op (one relaxed atomic load), so the instrumented hot
+// layers cost nothing in normal library use.  The CLI's --trace flag and
+// the benches enable it around the work they want profiled.
+//
+//   obs::Tracer::instance().set_enabled(true);
+//   {
+//     obs::ScopedSpan span("training");
+//     span.counter("blocks", nb);
+//     ... nested ScopedSpans become children ...
+//   }
+//   obs::Tracer::instance().write_chrome_trace(file);
+//
+// The tracer records a single-threaded span stack (the pipeline is
+// single-threaded today); spans must strictly nest, which RAII enforces.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace terrors::obs {
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// One completed (or open) span.  `end_ns == 0` means still open.
+  struct Node {
+    std::string name;
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    std::size_t parent = kNoParent;  ///< index into nodes(), kNoParent = root
+    std::vector<std::pair<std::string, double>> counters;
+  };
+  static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drop all recorded spans (keeps the enabled flag).
+  void reset();
+
+  /// Low-level span API; prefer ScopedSpan.
+  std::size_t begin_span(std::string_view name);
+  void end_span(std::size_t index);
+  void span_counter(std::size_t index, std::string_view key, double value);
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  /// Nanoseconds since the tracer's epoch (steady clock).
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  /// Chrome trace_event JSON ("X" complete events, microsecond units);
+  /// span counters become event args.
+  void write_chrome_trace(std::ostream& os) const;
+  /// Indented tree with per-span wall time in ms and counters.
+  void write_text_tree(std::ostream& os) const;
+
+ private:
+  Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> stack_;  ///< indices of currently open spans
+};
+
+/// RAII span.  Captures the tracer's enabled state at construction, so
+/// toggling mid-span cannot unbalance the stack.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name) {
+    if (Tracer::instance().enabled()) {
+      active_ = true;
+      index_ = Tracer::instance().begin_span(name);
+    }
+  }
+  ~ScopedSpan() {
+    if (active_) Tracer::instance().end_span(index_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attach a named counter to this span (shows up in trace args).
+  void counter(std::string_view key, double value) {
+    if (active_) Tracer::instance().span_counter(index_, key, value);
+  }
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  bool active_ = false;
+  std::size_t index_ = 0;
+};
+
+}  // namespace terrors::obs

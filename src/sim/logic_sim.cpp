@@ -1,5 +1,6 @@
 #include "sim/logic_sim.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace terrors::sim {
@@ -108,9 +109,18 @@ void LogicSimulator::step() {
   // 4. Combinational logic settles.
   settle();
   // 5. Activation per Def. 3.2.
-  for (GateId id = 0; id < nl_.size(); ++id)
+  std::uint64_t toggles = 0;
+  for (GateId id = 0; id < nl_.size(); ++id) {
     activated_[id] = values_[id] != prev_values_[id] ? 1 : 0;
+    toggles += activated_[id];
+  }
   ++cycle_;
+
+  static obs::Counter& cycles_metric = obs::MetricsRegistry::instance().counter("sim.cycles");
+  static obs::Counter& toggles_metric =
+      obs::MetricsRegistry::instance().counter("sim.gate_toggles");
+  cycles_metric.increment();
+  toggles_metric.increment(toggles);
 }
 
 }  // namespace terrors::sim

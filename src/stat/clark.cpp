@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 #include "support/math.hpp"
 
@@ -43,6 +44,8 @@ ClarkResult clark_max(const Gaussian& x, const Gaussian& y, double rho) {
 }
 
 ClarkResult clark_min(const Gaussian& x, const Gaussian& y, double rho) {
+  static obs::Counter& calls = obs::MetricsRegistry::instance().counter("stat.clark_min_calls");
+  calls.increment();
   // min(x, y) = -max(-x, -y); corr(-x, -y) == corr(x, y).
   const ClarkResult neg = clark_max({-x.mean, x.sd}, {-y.mean, y.sd}, rho);
   // neg.tightness = Pr(-x > -y) = Pr(x < y).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace terrors::timing {
@@ -115,6 +116,8 @@ PathEnumerator::Search& PathEnumerator::search_for(GateId endpoint) {
 }
 
 void PathEnumerator::extend(Search& s, std::size_t k) {
+  const std::size_t expansions_before = s.expansions;
+  const std::size_t paths_before = s.paths.size();
   while (s.paths.size() < k && !s.done) {
     if (s.heap.empty()) {
       s.done = true;
@@ -156,6 +159,13 @@ void PathEnumerator::extend(Search& s, std::size_t k) {
       s.heap.emplace(sta_.arrival(f) + suffix, child);
     }
   }
+  // Flush once per extension burst rather than per search node.
+  static obs::Counter& expansions_metric =
+      obs::MetricsRegistry::instance().counter("timing.path_expansions");
+  static obs::Counter& paths_metric =
+      obs::MetricsRegistry::instance().counter("timing.paths_enumerated");
+  expansions_metric.increment(s.expansions - expansions_before);
+  paths_metric.increment(s.paths.size() - paths_before);
 }
 
 const std::vector<TimingPath>& PathEnumerator::top_paths(GateId endpoint, std::size_t k) {

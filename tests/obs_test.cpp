@@ -1,0 +1,383 @@
+// Tests for the observability layer: tracer span nesting and timing,
+// metrics registry semantics (histograms vs MomentAccumulator), JSON
+// exporter well-formedness, and log-level filtering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "support/accumulator.hpp"
+
+using namespace terrors;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON validator: enough to prove the
+// exporters emit structurally valid documents without a JSON dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        if (pos_ + 1 >= text_.size()) return false;
+        ++pos_;
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void spin_briefly() {
+  // Burn a few microseconds so span durations are strictly measurable.
+  volatile double x = 1.0;
+  for (int i = 0; i < 2000; ++i) x = x * 1.0000001 + 1e-9;
+}
+
+class TracerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Tracer::instance().reset();
+    obs::Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::Tracer::instance().set_enabled(false);
+    obs::Tracer::instance().reset();
+  }
+};
+
+TEST_F(TracerTest, SpanNestingAndTimingMonotonicity) {
+  {
+    obs::ScopedSpan outer("outer");
+    spin_briefly();
+    {
+      obs::ScopedSpan inner("inner");
+      inner.counter("work", 3.0);
+      spin_briefly();
+    }
+    {
+      obs::ScopedSpan inner2("inner2");
+      spin_briefly();
+    }
+  }
+  const auto& nodes = obs::Tracer::instance().nodes();
+  ASSERT_EQ(nodes.size(), 3u);
+
+  const auto& outer = nodes[0];
+  const auto& inner = nodes[1];
+  const auto& inner2 = nodes[2];
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(outer.parent, obs::Tracer::kNoParent);
+  EXPECT_EQ(inner.parent, 0u);
+  EXPECT_EQ(inner2.parent, 0u);
+
+  // Every span closed, with end >= start.
+  for (const auto& n : nodes) {
+    EXPECT_NE(n.end_ns, 0u) << n.name;
+    EXPECT_GE(n.end_ns, n.start_ns) << n.name;
+  }
+  // Children are contained in the parent interval and ordered in time.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.end_ns, outer.end_ns);
+  EXPECT_GE(inner2.start_ns, inner.end_ns);
+  EXPECT_LE(inner2.end_ns, outer.end_ns);
+
+  // Counters attach to the right span and accumulate.
+  ASSERT_EQ(inner.counters.size(), 1u);
+  EXPECT_EQ(inner.counters[0].first, "work");
+  EXPECT_DOUBLE_EQ(inner.counters[0].second, 3.0);
+}
+
+TEST_F(TracerTest, RepeatedCounterKeysAccumulate) {
+  {
+    obs::ScopedSpan span("loop");
+    for (int i = 0; i < 5; ++i) span.counter("iterations", 1.0);
+  }
+  const auto& nodes = obs::Tracer::instance().nodes();
+  ASSERT_EQ(nodes.size(), 1u);
+  ASSERT_EQ(nodes[0].counters.size(), 1u);
+  EXPECT_DOUBLE_EQ(nodes[0].counters[0].second, 5.0);
+}
+
+TEST_F(TracerTest, DisabledSpansRecordNothing) {
+  obs::Tracer::instance().set_enabled(false);
+  {
+    obs::ScopedSpan span("ghost");
+    span.counter("x", 1.0);
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(obs::Tracer::instance().nodes().empty());
+}
+
+TEST_F(TracerTest, ChromeTraceJsonIsWellFormed) {
+  {
+    obs::ScopedSpan outer("phase \"quoted\" name");
+    outer.counter("count", 42.0);
+    obs::ScopedSpan inner("child\\with\\backslashes");
+  }
+  std::ostringstream os;
+  obs::Tracer::instance().write_chrome_trace(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonValidator(text).valid()) << text;
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(TracerTest, TextTreeShowsHierarchy) {
+  {
+    obs::ScopedSpan outer("outer");
+    obs::ScopedSpan inner("inner");
+  }
+  std::ostringstream os;
+  obs::Tracer::instance().write_text_tree(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("outer"), std::string::npos);
+  // The child is indented under the parent.
+  EXPECT_NE(text.find("\n  inner"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CounterAccumulatesAndResets) {
+  auto& c = obs::MetricsRegistry::instance().counter("test.counter_basic");
+  c.reset();
+  c.increment();
+  c.increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name returns the same counter.
+  EXPECT_EQ(&obs::MetricsRegistry::instance().counter("test.counter_basic"), &c);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, HistogramMatchesMomentAccumulator) {
+  auto& h = obs::MetricsRegistry::instance().histogram("test.hist_moments");
+  h.reset();
+  support::MomentAccumulator ref;
+  const double values[] = {1.0, 2.5, -3.0, 7.25, 0.125, 2.5, 100.0, -42.0};
+  for (const double v : values) {
+    h.observe(v);
+    ref.add(v);
+  }
+  const auto& s = h.stats();
+  EXPECT_EQ(s.count(), ref.count());
+  EXPECT_DOUBLE_EQ(s.mean(), ref.mean());
+  EXPECT_DOUBLE_EQ(s.stddev(), ref.stddev());
+  EXPECT_DOUBLE_EQ(s.central_moment3(), ref.central_moment3());
+  EXPECT_DOUBLE_EQ(s.central_moment4(), ref.central_moment4());
+  EXPECT_DOUBLE_EQ(s.min(), ref.min());
+  EXPECT_DOUBLE_EQ(s.max(), ref.max());
+}
+
+TEST(MetricsTest, JsonExportIsWellFormedAndComplete) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("test.json_counter").increment(7);
+  reg.gauge("test.json_gauge").set(-1.5);
+  auto& h = reg.histogram("test.json_hist");
+  h.reset();
+  h.observe(1.0);
+  h.observe(3.0);
+
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonValidator(text).valid()) << text;
+  EXPECT_NE(text.find("\"test.json_counter\":7"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"test.json_gauge\":-1.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"test.json_hist\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"mean\":2"), std::string::npos) << text;
+}
+
+TEST(MetricsTest, EmptyHistogramExportsZeros) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.histogram("test.json_hist_empty").reset();
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_TRUE(JsonValidator(os.str()).valid()) << os.str();
+  // min/max of an empty MomentAccumulator are +/-inf; the exporter must
+  // not leak non-JSON tokens like "inf".
+  EXPECT_EQ(os.str().find("inf"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(JsonHelpersTest, EscapesControlCharactersAndQuotes) {
+  std::ostringstream os;
+  obs::json_string(os, "a\"b\\c\nd\x01" "e");
+  EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\u0001e\"");
+}
+
+TEST(JsonHelpersTest, NonFiniteNumbersBecomeNull) {
+  std::ostringstream os;
+  obs::json_number(os, std::nan(""));
+  os << " ";
+  obs::json_number(os, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(os.str(), "null null");
+}
+
+// ---------------------------------------------------------------------------
+
+class LoggerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Logger::instance().set_sink(&sink_);
+    obs::Logger::instance().set_level(obs::LogLevel::kOff);
+  }
+  void TearDown() override {
+    obs::Logger::instance().set_sink(nullptr);
+    obs::Logger::instance().set_level(obs::LogLevel::kOff);
+  }
+  std::ostringstream sink_;
+};
+
+TEST_F(LoggerTest, OffByDefaultSuppressesEverything) {
+  obs::log_error("test", "should not appear");
+  obs::log_info("test", "should not appear");
+  EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggerTest, LevelFilteringSuppressesFinerLevels) {
+  obs::Logger::instance().set_level(obs::LogLevel::kInfo);
+  obs::log_debug("test", "filtered");
+  EXPECT_TRUE(sink_.str().empty());
+  obs::log_info("test", "visible");
+  EXPECT_NE(sink_.str().find("msg=visible"), std::string::npos);
+  obs::log_error("test", "also visible");
+  EXPECT_NE(sink_.str().find("level=error"), std::string::npos);
+}
+
+TEST_F(LoggerTest, StructuredFieldsAreKeyValueFormatted) {
+  obs::Logger::instance().set_level(obs::LogLevel::kInfo);
+  obs::log_info("core", "phase done",
+                {{"seconds", 1.5}, {"blocks", 14}, {"name", "two words"}});
+  const std::string line = sink_.str();
+  EXPECT_NE(line.find("comp=core"), std::string::npos) << line;
+  EXPECT_NE(line.find("seconds=1.5"), std::string::npos) << line;
+  EXPECT_NE(line.find("blocks=14"), std::string::npos) << line;
+  EXPECT_NE(line.find("name=\"two words\""), std::string::npos) << line;
+  EXPECT_EQ(line.back(), '\n');
+}
+
+TEST_F(LoggerTest, ParseLogLevelRoundTrips) {
+  EXPECT_EQ(obs::parse_log_level("info"), obs::LogLevel::kInfo);
+  EXPECT_EQ(obs::parse_log_level("trace"), obs::LogLevel::kTrace);
+  EXPECT_EQ(obs::parse_log_level("off"), obs::LogLevel::kOff);
+  EXPECT_FALSE(obs::parse_log_level("bogus").has_value());
+  for (const auto lvl : {obs::LogLevel::kError, obs::LogLevel::kWarn, obs::LogLevel::kInfo,
+                         obs::LogLevel::kDebug, obs::LogLevel::kTrace}) {
+    EXPECT_EQ(obs::parse_log_level(obs::log_level_name(lvl)), lvl);
+  }
+}
+
+}  // namespace

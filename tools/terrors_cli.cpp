@@ -5,15 +5,21 @@
 //   terrors program <name>               generated program listing
 //   terrors report [--period P] [--n N]  signoff-style timing report
 //   terrors analyze <name> [--period P] [--scale S] [--runs R]
+//                   [--trace F] [--trace-tree] [--metrics F] [--log-level L]
 //                                        full error-rate analysis row
 //   terrors vcd <name> [--cycles N]      VCD dump of a benchmark window
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/framework.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "dta/pipeline_driver.hpp"
 #include "netlist/pipeline.hpp"
 #include "perf/ts_model.hpp"
@@ -27,13 +33,56 @@ using namespace terrors;
 
 namespace {
 
-double flag(int argc, char** argv, const char* name, double fallback) {
-  const std::string prefix = std::string(name) + "=";
-  for (int i = 0; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a.rfind(prefix, 0) == 0) return std::stod(a.substr(prefix.size()));
+struct FlagSpec {
+  const char* name;       ///< including the leading "--"
+  bool takes_value;
+};
+
+/// Parse argv[start..argc) against `specs`.  Both `--flag=V` and
+/// `--flag V` are accepted; unknown or malformed flags are reported on
+/// stderr (instead of being silently ignored) and fail the parse.
+bool parse_flags(int argc, char** argv, int start, std::initializer_list<FlagSpec> specs,
+                 std::map<std::string, std::string>& out) {
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg.c_str());
+      return false;
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string name = arg.substr(0, eq);
+    const FlagSpec* spec = nullptr;
+    for (const auto& s : specs) {
+      if (name == s.name) spec = &s;
+    }
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown flag '%s'\n", name.c_str());
+      return false;
+    }
+    if (!spec->takes_value) {
+      if (eq != std::string::npos) {
+        std::fprintf(stderr, "flag '%s' takes no value\n", name.c_str());
+        return false;
+      }
+      out[name] = "";
+      continue;
+    }
+    if (eq != std::string::npos) {
+      out[name] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      out[name] = argv[++i];
+    } else {
+      std::fprintf(stderr, "flag '%s' needs a value\n", name.c_str());
+      return false;
+    }
   }
-  return fallback;
+  return true;
+}
+
+double num_flag(const std::map<std::string, std::string>& flags, const char* name,
+                double fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : std::stod(it->second);
 }
 
 const workloads::WorkloadSpec* find_spec(const char* name) {
@@ -87,8 +136,10 @@ int cmd_program(const char* name) {
 }
 
 int cmd_report(int argc, char** argv) {
-  const double period = flag(argc, argv, "--period", 1300.0);
-  const auto n = static_cast<std::size_t>(flag(argc, argv, "--n", 10));
+  std::map<std::string, std::string> flags;
+  if (!parse_flags(argc, argv, 2, {{"--period", true}, {"--n", true}}, flags)) return 1;
+  const double period = num_flag(flags, "--period", 1300.0);
+  const auto n = static_cast<std::size_t>(num_flag(flags, "--n", 10));
   timing::PathEnumerator paths(pipe().netlist);
   const timing::VariationModel vm(pipe().netlist, {});
   timing::ReportConfig cfg;
@@ -105,9 +156,31 @@ int cmd_analyze(int argc, char** argv, const char* name) {
     std::fprintf(stderr, "unknown benchmark '%s'\n", name);
     return 1;
   }
-  const double period = flag(argc, argv, "--period", 1300.0);
-  const double scale = flag(argc, argv, "--scale", 1e-4);
-  const auto runs = static_cast<std::size_t>(flag(argc, argv, "--runs", 4));
+  std::map<std::string, std::string> flags;
+  if (!parse_flags(argc, argv, 3,
+                   {{"--period", true},
+                    {"--scale", true},
+                    {"--runs", true},
+                    {"--trace", true},
+                    {"--trace-tree", false},
+                    {"--metrics", true},
+                    {"--log-level", true}},
+                   flags))
+    return 1;
+  const double period = num_flag(flags, "--period", 1300.0);
+  const double scale = num_flag(flags, "--scale", 1e-4);
+  const auto runs = static_cast<std::size_t>(num_flag(flags, "--runs", 4));
+
+  if (const auto it = flags.find("--log-level"); it != flags.end()) {
+    const auto lvl = obs::parse_log_level(it->second);
+    if (!lvl.has_value()) {
+      std::fprintf(stderr, "unknown log level '%s'\n", it->second.c_str());
+      return 1;
+    }
+    obs::Logger::instance().set_level(*lvl);
+  }
+  const bool tracing = flags.count("--trace") != 0 || flags.count("--trace-tree") != 0;
+  if (tracing) obs::Tracer::instance().set_enabled(true);
 
   core::FrameworkConfig cfg;
   cfg.spec = timing::TimingSpec{period};
@@ -129,6 +202,24 @@ int cmd_analyze(int argc, char** argv, const char* name) {
               r.simulation_seconds);
   std::printf("  TS net perf      : %+.2f %%\n",
               100.0 * ts.performance_improvement(std::min(1.0, r.estimate.rate_mean())));
+
+  if (const auto it = flags.find("--trace"); it != flags.end()) {
+    std::ofstream out(it->second);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace file '%s'\n", it->second.c_str());
+      return 1;
+    }
+    obs::Tracer::instance().write_chrome_trace(out);
+  }
+  if (flags.count("--trace-tree") != 0) obs::Tracer::instance().write_text_tree(std::cerr);
+  if (const auto it = flags.find("--metrics"); it != flags.end()) {
+    std::ofstream out(it->second);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics file '%s'\n", it->second.c_str());
+      return 1;
+    }
+    obs::MetricsRegistry::instance().write_json(out);
+  }
   return 0;
 }
 
@@ -138,7 +229,9 @@ int cmd_vcd(int argc, char** argv, const char* name) {
     std::fprintf(stderr, "unknown benchmark '%s'\n", name);
     return 1;
   }
-  const auto cycles = static_cast<std::size_t>(flag(argc, argv, "--cycles", 64));
+  std::map<std::string, std::string> flags;
+  if (!parse_flags(argc, argv, 3, {{"--cycles", true}}, flags)) return 1;
+  const auto cycles = static_cast<std::size_t>(num_flag(flags, "--cycles", 64));
   // Collect sampled contexts into a short slot stream.
   const isa::Program program = workloads::generate_program(*spec);
   const isa::Cfg cfg(program);
@@ -201,9 +294,14 @@ void usage() {
       "  info                          pipeline and operating-point summary\n"
       "  list                          available benchmarks\n"
       "  program <name>                print the generated program\n"
-      "  report [--period=P] [--n=N]   signoff-style timing report\n"
-      "  analyze <name> [--period=P] [--scale=S] [--runs=R]\n"
-      "  vcd <name> [--cycles=N]       dump a VCD window to stdout\n",
+      "  report [--period P] [--n N]   signoff-style timing report\n"
+      "  analyze <name> [--period P] [--scale S] [--runs R]\n"
+      "          [--trace FILE]        write a Chrome trace_event JSON phase tree\n"
+      "          [--trace-tree]        print the phase tree to stderr\n"
+      "          [--metrics FILE]      write the metrics registry as JSON\n"
+      "          [--log-level LVL]     error|warn|info|debug|trace (default off)\n"
+      "  vcd <name> [--cycles N]       dump a VCD window to stdout\n"
+      "flags accept both '--flag value' and '--flag=value'\n",
       stderr);
 }
 
