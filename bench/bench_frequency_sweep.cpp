@@ -30,12 +30,31 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < workloads::mibench_specs().size(); ++i) picks.push_back(i);
   }
 
-  std::printf("Error rate and performance vs frequency (scale %.0e)\n\n", rs.scale);
+  std::printf("Error rate and performance vs frequency (scale %.0e, %zu threads)\n\n", rs.scale,
+              rs.threads);
   std::printf("%-10s", "period_ps");
   for (std::size_t i : picks)
     std::printf(" %12s", workloads::mibench_specs()[i].name.c_str());
   std::printf("   (error rate %%, then performance improvement %%)\n");
   bench::hr(100);
+
+  // Program text, input datasets, and executor configs depend only on the
+  // workload spec, not the clock period — generate each once, not once per
+  // sweep row.
+  struct Prepared {
+    const workloads::WorkloadSpec* spec;
+    isa::Program program;
+    std::vector<isa::ProgramInput> inputs;
+    isa::ExecutorConfig executor;
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(picks.size());
+  for (std::size_t i : picks) {
+    const auto& spec = workloads::mibench_specs()[i];
+    prepared.push_back({&spec, workloads::generate_program(spec),
+                        workloads::generate_inputs(spec, rs.runs, 2026),
+                        workloads::executor_config_for(spec, rs.runs, rs.scale)});
+  }
 
   const std::vector<double> periods = {1400.0, 1350.0, 1300.0, 1275.0, 1250.0,
                                        1225.0, 1200.0, 1150.0, 1100.0, 1000.0};
@@ -43,18 +62,18 @@ int main(int argc, char** argv) {
     framework.set_spec(timing::TimingSpec{period});
     std::printf("%-10.0f", period);
     std::string perf_row;
-    for (std::size_t i : picks) {
-      const auto& spec = workloads::mibench_specs()[i];
-      const isa::Program program = workloads::generate_program(spec);
-      framework.set_executor_config(workloads::executor_config_for(spec, rs.runs, rs.scale));
-      const auto inputs = workloads::generate_inputs(spec, rs.runs, 2026);
-      const auto r = framework.analyze(program, inputs);
-      report.record(spec.name, {{"period_ps", period},
-                                {"rate_mean", r.estimate.rate_mean()},
-                                {"rate_sd", r.estimate.rate_sd()},
-                                {"train_seconds", r.training_seconds},
-                                {"sim_seconds", r.simulation_seconds},
-                                {"estimation_seconds", r.estimation_seconds}});
+    for (const auto& p : prepared) {
+      framework.set_executor_config(p.executor);
+      const auto r = framework.analyze(p.program, p.inputs);
+      report.record(p.spec->name, {{"period_ps", period},
+                                   {"threads", static_cast<double>(rs.threads)},
+                                   {"rate_mean", r.estimate.rate_mean()},
+                                   {"rate_sd", r.estimate.rate_sd()},
+                                   {"train_seconds", r.training_seconds},
+                                   {"sim_seconds", r.simulation_seconds},
+                                   {"estimation_seconds", r.estimation_seconds},
+                                   {"analyze_seconds", r.training_seconds + r.simulation_seconds +
+                                                           r.estimation_seconds}});
       std::printf(" %12.4f", 100.0 * r.estimate.rate_mean());
       char buf[32];
       std::snprintf(buf, sizeof buf, " %+12.2f", 100.0 * ts.performance_improvement(

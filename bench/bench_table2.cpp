@@ -24,8 +24,8 @@ int main(int argc, char** argv) {
   const perf::TsProcessorModel ts;
 
   std::printf("Table 2 — Results, Performance, and Accuracy of the Framework\n");
-  std::printf("(working point %.1f MHz, scale %.0e, %zu runs per benchmark)\n\n",
-              bench::working_spec().frequency_mhz(), rs.scale, rs.runs);
+  std::printf("(working point %.1f MHz, scale %.0e, %zu runs per benchmark, %zu threads)\n\n",
+              bench::working_spec().frequency_mhz(), rs.scale, rs.runs, rs.threads);
   std::printf("%-13s %14s %12s %6s | %9s %9s %9s | %8s %8s | %10s %10s | %8s\n", "Benchmark",
               "Instr(paper)", "Instr(sim)", "BBs", "train(s)", "sim(s)", "total(s)", "Mean%%",
               "SD%%", "dK(lam)", "dK(R_E)", "perf%%");
@@ -56,9 +56,12 @@ int main(int argc, char** argv) {
     report.record(spec.name, {{"paper_instructions", static_cast<double>(spec.paper_instructions)},
                               {"sim_instructions", static_cast<double>(r.instructions)},
                               {"basic_blocks", static_cast<double>(r.basic_blocks)},
+                              {"threads", static_cast<double>(rs.threads)},
                               {"train_seconds", r.training_seconds},
                               {"sim_seconds", r.simulation_seconds},
                               {"estimation_seconds", r.estimation_seconds},
+                              {"analyze_seconds",
+                               r.training_seconds + r.simulation_seconds + r.estimation_seconds},
                               {"rate_mean", r.estimate.rate_mean()},
                               {"rate_sd", r.estimate.rate_sd()},
                               {"dk_lambda", r.estimate.dk_lambda},

@@ -16,6 +16,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "perf/ts_model.hpp"
+#include "support/thread_pool.hpp"
 #include "timing/sta.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/specs.hpp"
@@ -45,6 +46,7 @@ inline core::FrameworkConfig default_config() {
 struct RunScale {
   std::size_t runs = 4;
   double scale = 1e-4;  ///< fraction of Table 2 instruction counts simulated
+  std::size_t threads = 0;  ///< resolved pool width (after --threads / env)
 };
 
 inline RunScale parse_scale(int argc, char** argv) {
@@ -53,7 +55,13 @@ inline RunScale parse_scale(int argc, char** argv) {
     const std::string a = argv[i];
     if (a.rfind("--scale=", 0) == 0) rs.scale = std::stod(a.substr(8));
     if (a.rfind("--runs=", 0) == 0) rs.runs = static_cast<std::size_t>(std::stoul(a.substr(7)));
+    if (a.rfind("--threads=", 0) == 0) {
+      support::set_global_threads(static_cast<std::size_t>(std::stoul(a.substr(10))));
+    } else if (a == "--threads" && i + 1 < argc) {
+      support::set_global_threads(static_cast<std::size_t>(std::stoul(argv[i + 1])));
+    }
   }
+  rs.threads = support::global_pool().size();
   return rs;
 }
 

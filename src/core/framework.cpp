@@ -6,6 +6,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 
 namespace terrors::core {
 
@@ -109,6 +110,17 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
                 {{"seconds", result.estimation_seconds},
                  {"rate_mean", result.estimate.rate_mean()},
                  {"rate_sd", result.estimate.rate_sd()}});
+
+  // Publish the pool's cumulative scheduling counters; support cannot link
+  // against obs (obs already links support), so the bridge lives here.
+  {
+    support::ThreadPool& pool = support::global_pool();
+    const auto stats = pool.stats();
+    auto& registry = obs::MetricsRegistry::instance();
+    registry.gauge("pool.threads").set(static_cast<double>(pool.size()));
+    registry.gauge("pool.tasks").set(static_cast<double>(stats.tasks));
+    registry.gauge("pool.steal_or_wait").set(static_cast<double>(stats.steal_or_wait));
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/check.hpp"
+#include "support/thread_pool.hpp"
 
 namespace terrors::core {
 
@@ -19,27 +20,36 @@ std::vector<std::uint64_t> monte_carlo_error_counts(
     }
   }
   TE_REQUIRE(m > 0, "no conditional distributions");
+  TE_REQUIRE(fixed_world < static_cast<std::ptrdiff_t>(m), "world index out of range");
 
-  std::vector<std::uint64_t> counts;
-  counts.reserve(trials);
-  for (std::size_t t = 0; t < trials; ++t) {
+  // Each trial draws from its own RNG stream split(t) off the caller's
+  // seed, so the chip samples shard across pool workers with results
+  // bit-identical at any thread count (and to the serial run).
+  std::vector<std::uint64_t> counts(trials, 0);
+  auto run_trial = [&](std::size_t t, std::size_t /*worker*/) {
+    support::Rng trial_rng = rng.split(static_cast<std::uint64_t>(t));
     const auto& trace = profile.block_traces[t % profile.block_traces.size()];
-    TE_REQUIRE(fixed_world < static_cast<std::ptrdiff_t>(m), "world index out of range");
     const std::size_t world =
-        fixed_world >= 0 ? static_cast<std::size_t>(fixed_world) : rng.uniform_index(m);
+        fixed_world >= 0 ? static_cast<std::size_t>(fixed_world) : trial_rng.uniform_index(m);
     bool prev_errored = true;  // flushed state at program start (p_in = 1)
     std::uint64_t n_e = 0;
     for (const auto& step : trace) {
       const auto& bd = cond[step.block];
       for (const auto& instr : bd.instr) {
         const double p = prev_errored ? instr.p_error[world] : instr.p_correct[world];
-        const bool err = rng.bernoulli(p);
+        const bool err = trial_rng.bernoulli(p);
         n_e += err ? 1u : 0u;
         prev_errored = err;
       }
     }
-    counts.push_back(n_e);
-  }
+    counts[t] = n_e;
+  };
+
+  support::ThreadPool& pool = support::global_pool();
+  // Trials are cheap relative to an edge characterisation; chunk them so
+  // scheduling overhead stays negligible.
+  const std::size_t grain = std::max<std::size_t>(1, trials / (pool.size() * 8));
+  pool.parallel_for(trials, grain, run_trial);
   return counts;
 }
 

@@ -28,6 +28,10 @@ namespace terrors::core {
 /// `fixed_world` >= 0 pins the data world (validates the Poisson step in
 /// isolation: N_E | lambda(world)); -1 samples a world per trial
 /// (validates the full mixture of Eq. 14).
+///
+/// Trial `t` draws from the independent stream rng.split(t) (the caller's
+/// generator state is not advanced), and trials shard across
+/// support::global_pool() — counts are bit-identical at any thread count.
 [[nodiscard]] std::vector<std::uint64_t> monte_carlo_error_counts(
     const isa::ProgramProfile& profile, const std::vector<BlockErrorDistributions>& cond,
     std::size_t trials, support::Rng& rng, std::ptrdiff_t fixed_world = -1);

@@ -47,6 +47,13 @@ class ControlCharacterizer {
   /// Characterise all (block, edge) pairs of the program, using the
   /// executor profile's sampled contexts as representative operand values.
   /// Unexecuted edges get empty (nullopt) characterisations.
+  ///
+  /// The (block, edge) tasks fan out across support::global_pool(): each
+  /// worker owns a thread-local DtsAnalyzer + PipelineDriver over this
+  /// characterizer's shared, pre-warmed (frozen) PathEnumerator, and every
+  /// result lands in its pre-sized slot indexed by (block, edge) — so AP
+  /// ordering and Clark-min folding are bit-identical to the serial run at
+  /// any worker count.
   [[nodiscard]] std::vector<BlockControlDts> characterize(const isa::Program& program,
                                                           const isa::Cfg& cfg,
                                                           const isa::ProgramProfile& profile);
@@ -59,10 +66,25 @@ class ControlCharacterizer {
   [[nodiscard]] DtsAnalyzer& analyzer() { return analyzer_; }
 
  private:
+  /// The shared characterisation body: pure function of its arguments
+  /// plus the (deterministic, order-independent) analyzer caches, so the
+  /// serial path and every worker compute bit-identical results.
+  EdgeControlDts characterize_edge_with(DtsAnalyzer& analyzer, PipelineDriver& driver,
+                                        const isa::Program& program, const isa::Cfg& cfg,
+                                        const isa::ProgramProfile& profile, isa::BlockId block,
+                                        std::ptrdiff_t edge) const;
+
+  /// Control-class capture endpoints of every stage (the set Algorithm 2
+  /// queries), for pre-warming the shared path enumerator.
+  [[nodiscard]] std::vector<netlist::GateId> control_endpoints() const;
+
   const netlist::Pipeline& pipeline_;
+  const timing::VariationModel& vm_;
+  DtsConfig dts_config_;
   DtsAnalyzer analyzer_;
   PipelineDriver driver_;
   ControlCharacterizerConfig config_;
+  bool paths_warmed_ = false;
 };
 
 }  // namespace terrors::dta

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <vector>
 
 #include "dta/pipeline_driver.hpp"
@@ -9,6 +10,7 @@
 #include "obs/trace.hpp"
 #include "support/check.hpp"
 #include "support/math.hpp"
+#include "support/thread_pool.hpp"
 
 namespace terrors::dta {
 
@@ -114,17 +116,38 @@ DatapathModel DatapathModel::train(const netlist::Pipeline& pipeline,
   // The spec used for training only shifts slack by a constant; we store
   // arrival statistics (period - setup - slack) so it cancels out.
   const timing::TimingSpec spec{10000.0, netlist::kSetupTimePs};
-  DtsAnalyzer analyzer(pipeline.netlist, vm, spec, dts_config);
-  PipelineDriver driver(pipeline);
 
   constexpr std::uint8_t kExStage = 3;
 
-  auto measure = [&](Opcode prev_op, std::uint32_t pa, std::uint32_t pb, Opcode cur_op,
-                     std::uint32_t ca, std::uint32_t cb) -> std::optional<DtsGaussian> {
+  // One measurement = one short instruction sequence driven through the
+  // gate-level pipeline.  The sequences are independent, so they fan out
+  // over (opcode, operand-class) tasks with results in indexed slots; the
+  // fits below consume them in fixed declaration order regardless of
+  // which worker produced them.
+  struct MeasureTask {
+    Opcode prev_op;
+    std::uint32_t pa, pb;
+    Opcode cur_op;
+    std::uint32_t ca, cb;
+  };
+  std::vector<MeasureTask> tasks;
+  const std::size_t first_adder = tasks.size();
+  for (int len = 2; len <= 32; len += 2) {
+    const std::uint32_t a = len >= 32 ? 0xFFFFFFFFu : ((1u << len) - 1u);
+    tasks.push_back({Opcode::kAdd, 0, 0, Opcode::kAdd, a, 1u});
+  }
+  const std::size_t logic_idx = tasks.size();
+  tasks.push_back({Opcode::kXor, 0, 0, Opcode::kXor, 0xA5A5A5A5u, 0x5A5A5A5Au});
+  const std::size_t shift_idx = tasks.size();
+  tasks.push_back({Opcode::kSll, 0, 0, Opcode::kSll, 0xDEADBEEFu, 17u});
+  const std::size_t pass_idx = tasks.size();
+  tasks.push_back({Opcode::kMovi, 0, 0, Opcode::kMovi, 0, 0x1234u});
+
+  auto measure_with = [&](DtsAnalyzer& analyzer, PipelineDriver& driver,
+                          const MeasureTask& t) -> std::optional<DtsGaussian> {
     static obs::Counter& measurements =
         obs::MetricsRegistry::instance().counter("dta.train_measurements");
     measurements.increment();
-    span.counter("measurements", 1.0);
     std::vector<FetchSlot> slots;
     std::uint32_t pc = 0x2000;
     for (int i = 0; i < 6; ++i) {
@@ -132,16 +155,16 @@ DatapathModel DatapathModel::train(const netlist::Pipeline& pipeline,
       pc += 4;
     }
     isa::Instruction prev_inst;
-    prev_inst.op = prev_op;
+    prev_inst.op = t.prev_op;
     isa::InstrDynContext prev_ctx;
-    prev_ctx.cur = {pa, pb, isa::ex_unit(prev_op), prev_op};
+    prev_ctx.cur = {t.pa, t.pb, isa::ex_unit(t.prev_op), t.prev_op};
     prev_ctx.pc = pc;
     slots.push_back(FetchSlot::from_context(prev_inst, prev_ctx));
     pc += 4;
     isa::Instruction cur_inst;
-    cur_inst.op = cur_op;
+    cur_inst.op = t.cur_op;
     isa::InstrDynContext cur_ctx;
-    cur_ctx.cur = {ca, cb, isa::ex_unit(cur_op), cur_op};
+    cur_ctx.cur = {t.ca, t.cb, isa::ex_unit(t.cur_op), t.cur_op};
     cur_ctx.pc = pc;
     slots.push_back(FetchSlot::from_context(cur_inst, cur_ctx));
     const std::size_t cur_slot = slots.size() - 1;
@@ -157,20 +180,53 @@ DatapathModel DatapathModel::train(const netlist::Pipeline& pipeline,
     return arr;
   };
 
+  std::vector<std::optional<DtsGaussian>> results(tasks.size());
+  support::ThreadPool& pool = support::global_pool();
+  if (pool.size() <= 1) {
+    DtsAnalyzer analyzer(pipeline.netlist, vm, spec, dts_config);
+    PipelineDriver driver(pipeline);
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+      results[i] = measure_with(analyzer, driver, tasks[i]);
+  } else {
+    // Shared pre-warmed enumerator (EX-stage data endpoints), one
+    // thread-local analyzer + driver per worker.
+    timing::PathEnumerator shared_paths(pipeline.netlist);
+    std::vector<netlist::GateId> endpoints;
+    for (netlist::GateId e : pipeline.netlist.stage_endpoints(kExStage)) {
+      if (pipeline.netlist.gate(e).endpoint_class == netlist::EndpointClass::kData)
+        endpoints.push_back(e);
+    }
+    shared_paths.warm(endpoints, dts_config.top_k);
+    shared_paths.set_frozen(true);
+    struct WorkerCtx {
+      DtsAnalyzer analyzer;
+      PipelineDriver driver;
+      WorkerCtx(const netlist::Pipeline& p, const timing::VariationModel& v,
+                timing::TimingSpec s, const DtsConfig& c, timing::PathEnumerator& paths)
+          : analyzer(p.netlist, v, s, c, paths), driver(p) {}
+    };
+    std::vector<std::unique_ptr<WorkerCtx>> ctxs(pool.size());
+    pool.parallel_for(tasks.size(), [&](std::size_t i, std::size_t w) {
+      auto& ctx = ctxs[w];
+      if (!ctx) ctx = std::make_unique<WorkerCtx>(pipeline, vm, spec, dts_config, shared_paths);
+      obs::ScopedSpan task_span("dta.train_measure");
+      task_span.counter("worker", static_cast<double>(w));
+      results[i] = measure_with(ctx->analyzer, ctx->driver, tasks[i]);
+    });
+  }
+  span.counter("measurements", static_cast<double>(tasks.size()));
+
   DatapathModel model;
   model.period_ref_ = spec.period_ps;
 
   // --- adder: controlled carry chains of length L --------------------------
   std::vector<Measurement> adder_ms;
-  for (int len = 2; len <= 32; len += 2) {
-    const std::uint32_t a =
-        len >= 32 ? 0xFFFFFFFFu : ((1u << len) - 1u);
-    auto m = measure(Opcode::kAdd, 0, 0, Opcode::kAdd, a, 1u);
-    if (m.has_value()) {
-      const int l = adder_chain_length({a, 1u, ExUnit::kAdder, Opcode::kAdd},
-                                       {0, 0, ExUnit::kAdder, Opcode::kAdd});
-      adder_ms.push_back({l, *m});
-    }
+  for (std::size_t i = first_adder; i < logic_idx; ++i) {
+    if (!results[i].has_value()) continue;
+    const MeasureTask& t = tasks[i];
+    const int l = adder_chain_length({t.ca, t.cb, ExUnit::kAdder, Opcode::kAdd},
+                                     {t.pa, t.pb, ExUnit::kAdder, Opcode::kAdd});
+    adder_ms.push_back({l, *results[i]});
   }
   TE_CHECK(adder_ms.size() >= 4, "adder training produced too few measurements");
   model.adder_mean_ = fit_linear(adder_ms, [](const DtsGaussian& g) { return g.slack.mean; });
@@ -178,28 +234,14 @@ DatapathModel DatapathModel::train(const netlist::Pipeline& pipeline,
   model.adder_gl_ = fit_linear(adder_ms, [](const DtsGaussian& g) { return g.global_loading; });
 
   // --- logic unit -----------------------------------------------------------
-  {
-    auto m = measure(Opcode::kXor, 0, 0, Opcode::kXor, 0xA5A5A5A5u, 0x5A5A5A5Au);
-    TE_CHECK(m.has_value(), "logic-unit training measurement failed");
-    model.logic_ = *m;
-  }
+  TE_CHECK(results[logic_idx].has_value(), "logic-unit training measurement failed");
+  model.logic_ = *results[logic_idx];
   // --- shifter ---------------------------------------------------------------
-  {
-    auto m = measure(Opcode::kSll, 0, 0, Opcode::kSll, 0xDEADBEEFu, 17u);
-    TE_CHECK(m.has_value(), "shifter training measurement failed");
-    model.shift_ = *m;
-  }
-  // --- pass-through (movi / nop) ----------------------------------------------
-  {
-    auto m = measure(Opcode::kMovi, 0, 0, Opcode::kMovi, 0, 0x1234u);
-    // A pass-through may produce a very short path; fall back to logic
-    // statistics scaled down if nothing was activated.
-    if (m.has_value()) {
-      model.pass_ = *m;
-    } else {
-      model.pass_ = model.logic_;
-    }
-  }
+  TE_CHECK(results[shift_idx].has_value(), "shifter training measurement failed");
+  model.shift_ = *results[shift_idx];
+  // --- pass-through (movi / nop): may produce a very short path; fall back
+  // to logic statistics if nothing was activated.
+  model.pass_ = results[pass_idx].has_value() ? *results[pass_idx] : model.logic_;
   return model;
 }
 

@@ -81,12 +81,13 @@ DtsGaussian statistical_path_min(const std::vector<PathStat>& paths,
 // ---------------------------------------------------------------------------
 
 CycleActivation::CycleActivation(const netlist::Netlist& nl, std::vector<std::uint8_t> flags)
-    : nl_(nl), flags_(std::move(flags)) {
+    : nl_(nl), flags_(std::move(flags)), arrivals_once_(std::make_unique<std::once_flag>()) {
   TE_REQUIRE(flags_.size() == nl.size(), "activation flag size mismatch");
 }
 
 const std::vector<double>& CycleActivation::arrivals() const {
-  if (arrivals_.empty()) arrivals_ = timing::activated_arrivals(nl_, flags_);
+  std::call_once(*arrivals_once_,
+                 [this] { arrivals_ = timing::activated_arrivals(nl_, flags_); });
   return arrivals_;
 }
 
@@ -95,7 +96,22 @@ const std::vector<double>& CycleActivation::arrivals() const {
 DtsAnalyzer::DtsAnalyzer(const netlist::Netlist& nl, const timing::VariationModel& vm,
                          timing::TimingSpec spec, DtsConfig config,
                          timing::PathConfig path_config)
-    : nl_(nl), vm_(vm), spec_(spec), config_(config), paths_(nl, path_config) {
+    : nl_(nl),
+      vm_(vm),
+      spec_(spec),
+      config_(config),
+      owned_paths_(std::make_unique<timing::PathEnumerator>(nl, path_config)),
+      paths_(owned_paths_.get()) {
+  TE_REQUIRE(config.top_k > 0, "top_k must be positive");
+  TE_REQUIRE(config.percentile_low > 0.0 && config.percentile_high < 1.0 &&
+                 config.percentile_low < config.percentile_high,
+             "bad percentile configuration");
+}
+
+DtsAnalyzer::DtsAnalyzer(const netlist::Netlist& nl, const timing::VariationModel& vm,
+                         timing::TimingSpec spec, DtsConfig config,
+                         timing::PathEnumerator& shared_paths)
+    : nl_(nl), vm_(vm), spec_(spec), config_(config), paths_(&shared_paths) {
   TE_REQUIRE(config.top_k > 0, "top_k must be positive");
   TE_REQUIRE(config.percentile_low > 0.0 && config.percentile_high < 1.0 &&
                  config.percentile_low < config.percentile_high,
@@ -104,7 +120,7 @@ DtsAnalyzer::DtsAnalyzer(const netlist::Netlist& nl, const timing::VariationMode
 
 DtsAnalyzer::EndpointCache& DtsAnalyzer::endpoint_cache(GateId endpoint) {
   EndpointCache& c = cache_[endpoint];
-  const auto& candidates = paths_.top_paths(endpoint, config_.top_k);
+  const auto& candidates = paths_->top_paths(endpoint, config_.top_k);
   if (c.built == candidates.size()) return c;
   for (std::size_t i = c.built; i < candidates.size(); ++i)
     c.stats.push_back(timing::path_stat(candidates[i], vm_));
@@ -135,7 +151,7 @@ std::optional<PathStat> DtsAnalyzer::endpoint_critical_activated(GateId endpoint
   if (flags[d] == 0) return std::nullopt;
 
   const EndpointCache& cache = endpoint_cache(endpoint);
-  const auto& candidates = paths_.top_paths(endpoint, config_.top_k);
+  const auto& candidates = paths_->top_paths(endpoint, config_.top_k);
 
   auto is_activated = [&](const TimingPath& p) {
     for (GateId g : p.gates) {
@@ -203,15 +219,25 @@ std::optional<PathStat> DtsAnalyzer::endpoint_critical_activated(GateId endpoint
     static obs::Counter& dp_fallbacks =
         obs::MetricsRegistry::instance().counter("dta.dp_fallbacks");
     dp_fallbacks.increment();
+    TimingPath p;
+    p.endpoint = endpoint;
+    p.gates.assign(rev.rbegin(), rev.rend());
+    p.delay_ps = dp_arrival;
     auto it = dp_cache_.find(h);
-    if (it == dp_cache_.end()) {
-      TimingPath p;
-      p.endpoint = endpoint;
-      p.gates.assign(rev.rbegin(), rev.rend());
-      p.delay_ps = dp_arrival;
-      it = dp_cache_.emplace(h, timing::path_stat(p, vm_)).first;
+    if (it == dp_cache_.end() || it->second.gates != p.gates) {
+      // Miss, or a hash collision (different gate sequence behind the same
+      // FNV key): (re)compute and store the verified entry.
+      if (it != dp_cache_.end()) {
+        static obs::Counter& collisions =
+            obs::MetricsRegistry::instance().counter("dta.dp_cache_collisions");
+        collisions.increment();
+      }
+      DpEntry entry;
+      entry.gates = p.gates;
+      entry.stat = timing::path_stat(p, vm_);
+      it = dp_cache_.insert_or_assign(h, std::move(entry)).first;
     }
-    ap.push_back(it->second);
+    ap.push_back(it->second.stat);
   }
 
   // Reduce this endpoint's contributions to a single most-critical stat?

@@ -24,6 +24,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -58,12 +60,17 @@ class CycleActivation {
   CycleActivation(const netlist::Netlist& nl, std::vector<std::uint8_t> flags);
 
   [[nodiscard]] const std::vector<std::uint8_t>& flags() const { return flags_; }
-  /// Longest activated arrival per gate output (computed on first use).
+  /// Longest activated arrival per gate output.  Computed on first use;
+  /// the init is call_once-guarded so a cycle shared between concurrent
+  /// stage_dts queries stays safe (each worker usually owns its cycles,
+  /// but the contract must not depend on that).
   [[nodiscard]] const std::vector<double>& arrivals() const;
 
  private:
   const netlist::Netlist& nl_;
   std::vector<std::uint8_t> flags_;
+  /// unique_ptr keeps CycleActivation movable (std::once_flag is not).
+  std::unique_ptr<std::once_flag> arrivals_once_;
   mutable std::vector<double> arrivals_;
 };
 
@@ -82,6 +89,13 @@ class DtsAnalyzer {
   DtsAnalyzer(const netlist::Netlist& nl, const timing::VariationModel& vm,
               timing::TimingSpec spec, DtsConfig config = {},
               timing::PathConfig path_config = {});
+
+  /// Borrowing variant: share a pre-warmed (and frozen, when used
+  /// concurrently) PathEnumerator instead of owning one.  Worker-local
+  /// analyzers in the parallel characterisation use this so the expensive
+  /// path enumeration happens once per process, not once per worker.
+  DtsAnalyzer(const netlist::Netlist& nl, const timing::VariationModel& vm,
+              timing::TimingSpec spec, DtsConfig config, timing::PathEnumerator& shared_paths);
 
   /// DTS of `stage` for the given cycle, restricted to endpoints of class
   /// `cls` (kNone = all endpoints).  nullopt when no endpoint of the stage
@@ -103,7 +117,7 @@ class DtsAnalyzer {
   [[nodiscard]] const timing::TimingSpec& spec() const { return spec_; }
   void set_spec(timing::TimingSpec spec) { spec_ = spec; }
   [[nodiscard]] const DtsConfig& config() const { return config_; }
-  [[nodiscard]] timing::PathEnumerator& paths() { return paths_; }
+  [[nodiscard]] timing::PathEnumerator& paths() { return *paths_; }
 
   /// Collected activated critical paths (AP set) of the last stage_dts
   /// call, for inspection and for Algorithm 2's cross-stage minimum.
@@ -127,13 +141,20 @@ class DtsAnalyzer {
   const timing::VariationModel& vm_;
   timing::TimingSpec spec_;
   DtsConfig config_;
-  timing::PathEnumerator paths_;
+  std::unique_ptr<timing::PathEnumerator> owned_paths_;  ///< null when borrowing
+  timing::PathEnumerator* paths_;
   std::vector<timing::PathStat> last_ap_;
   std::vector<timing::PathStat> pending_alternates_;
   std::unordered_map<netlist::GateId, EndpointCache> cache_;
-  /// DP-fallback path statistics keyed by (endpoint, gate-list hash):
-  /// activated carry chains recur across cycles.
-  std::unordered_map<std::uint64_t, timing::PathStat> dp_cache_;
+  /// DP-fallback path statistics keyed by the FNV hash of (endpoint, gate
+  /// sequence): activated carry chains recur across cycles.  The entry
+  /// stores the gates so a hash collision is detected instead of silently
+  /// returning the wrong path's statistics.
+  struct DpEntry {
+    std::vector<netlist::GateId> gates;  ///< source -> endpoint-D order
+    timing::PathStat stat;
+  };
+  std::unordered_map<std::uint64_t, DpEntry> dp_cache_;
 };
 
 /// Statistical minimum over a set of path slacks with full covariance;

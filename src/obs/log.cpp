@@ -89,6 +89,7 @@ Logger& Logger::instance() {
 void Logger::log(LogLevel level, std::string_view component, std::string_view message,
                  std::initializer_list<LogField> fields) {
   if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
   std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
   os << "level=" << log_level_name(level) << " comp=";
   write_value(os, component, true);

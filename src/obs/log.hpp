@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <string>
@@ -74,6 +75,7 @@ class Logger {
   Logger();
   LogLevel level_ = LogLevel::kOff;
   std::ostream* sink_ = nullptr;  ///< nullptr = stderr
+  std::mutex mutex_;              ///< records from pool workers stay whole lines
 };
 
 /// Convenience wrappers: log_info("core", "phase done", {{"seconds", s}}).

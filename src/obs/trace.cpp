@@ -20,30 +20,42 @@ std::uint64_t Tracer::now_ns() const {
 }
 
 void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
   nodes_.clear();
-  stack_.clear();
+  stacks_.clear();
+  tids_.clear();
 }
 
 std::size_t Tracer::begin_span(std::string_view name) {
+  const std::uint64_t start = now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::thread::id self = std::this_thread::get_id();
+  auto [tid_it, fresh] = tids_.try_emplace(self, static_cast<std::uint32_t>(tids_.size()));
+  auto& stack = stacks_[self];
   Node node;
   node.name = std::string(name);
-  node.start_ns = now_ns();
-  node.parent = stack_.empty() ? kNoParent : stack_.back();
+  node.start_ns = start;
+  node.parent = stack.empty() ? kNoParent : stack.back();
+  node.tid = tid_it->second;
   const std::size_t index = nodes_.size();
   nodes_.push_back(std::move(node));
-  stack_.push_back(index);
+  stack.push_back(index);
   return index;
 }
 
 void Tracer::end_span(std::size_t index) {
+  const std::uint64_t end = now_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
   TE_REQUIRE(index < nodes_.size(), "end_span on unknown span");
-  TE_REQUIRE(!stack_.empty() && stack_.back() == index,
-             "spans must close in strict LIFO order");
-  stack_.pop_back();
-  nodes_[index].end_ns = now_ns();
+  auto& stack = stacks_[std::this_thread::get_id()];
+  TE_REQUIRE(!stack.empty() && stack.back() == index,
+             "spans must close in strict LIFO order on their own thread");
+  stack.pop_back();
+  nodes_[index].end_ns = end;
 }
 
 void Tracer::span_counter(std::size_t index, std::string_view key, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
   TE_REQUIRE(index < nodes_.size(), "span_counter on unknown span");
   auto& counters = nodes_[index].counters;
   for (auto& [k, v] : counters) {
@@ -56,6 +68,7 @@ void Tracer::span_counter(std::size_t index, std::string_view key, double value)
 }
 
 void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const auto& node : nodes_) {
@@ -64,7 +77,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     const std::uint64_t end = node.end_ns != 0 ? node.end_ns : node.start_ns;
     os << "{\"name\":";
     json_string(os, node.name);
-    os << ",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    os << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << node.tid << ",\"ts\":";
     json_number(os, node.start_ns / 1000);
     os << ",\"dur\":";
     json_number(os, (end - node.start_ns) / 1000);
@@ -86,6 +99,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
 }
 
 void Tracer::write_text_tree(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   // Children, in recording order, per parent.
   std::vector<std::vector<std::size_t>> children(nodes_.size());
   std::vector<std::size_t> roots;

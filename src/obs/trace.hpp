@@ -16,16 +16,22 @@
 //   }
 //   obs::Tracer::instance().write_chrome_trace(file);
 //
-// The tracer records a single-threaded span stack (the pipeline is
-// single-threaded today); spans must strictly nest, which RAII enforces.
+// The tracer keeps one span stack per thread (pool workers emit their own
+// spans, attributed via a `worker` counter and a per-thread `tid` in the
+// Chrome export); within a thread spans must strictly nest, which RAII
+// enforces.  begin/end/counter are mutex-protected — tracing is opt-in
+// profiling, so the lock is acceptable and keeps worker spans readable.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -41,6 +47,7 @@ class Tracer {
     std::uint64_t start_ns = 0;
     std::uint64_t end_ns = 0;
     std::size_t parent = kNoParent;  ///< index into nodes(), kNoParent = root
+    std::uint32_t tid = 0;           ///< recording thread (0 = first seen, usually main)
     std::vector<std::pair<std::string, double>> counters;
   };
   static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
@@ -71,8 +78,11 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;  ///< guards nodes_, stacks_, tids_
   std::vector<Node> nodes_;
-  std::vector<std::size_t> stack_;  ///< indices of currently open spans
+  /// Open-span stack per recording thread; spans nest within a thread.
+  std::unordered_map<std::thread::id, std::vector<std::size_t>> stacks_;
+  std::unordered_map<std::thread::id, std::uint32_t> tids_;
 };
 
 /// RAII span.  Captures the tracer's enabled state at construction, so

@@ -1,0 +1,193 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+
+#include "support/check.hpp"
+
+namespace terrors::support {
+
+namespace {
+
+thread_local std::size_t tl_worker = 0;
+thread_local bool tl_in_parallel = false;
+
+}  // namespace
+
+/// One published parallel_for: an atomic chunk cursor plus completion and
+/// quiescence accounting.  Lives on the caller's stack; `refs` (mutated
+/// under the pool mutex) keeps workers from touching it after retirement.
+struct ThreadPool::Job {
+  const Task* fn = nullptr;
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr error;
+  std::size_t refs = 0;  ///< workers currently attached (guarded by mutex_)
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                            : threads) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t w = 1; w < threads_; ++w)
+    workers_.emplace_back([this, w] { worker_main(w); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+std::size_t ThreadPool::current_worker() { return tl_worker; }
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.jobs = jobs_.load(std::memory_order_relaxed);
+  s.tasks = tasks_.load(std::memory_order_relaxed);
+  s.steal_or_wait = waits_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ThreadPool::run_chunks(Job& job, std::size_t worker) {
+  bool got_work = false;
+  for (;;) {
+    const std::size_t begin = job.next.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.n) break;
+    got_work = true;
+    const std::size_t end = std::min(job.n, begin + job.grain);
+    if (!job.cancelled.load(std::memory_order_relaxed)) {
+      try {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (job.cancelled.load(std::memory_order_relaxed)) break;
+          (*job.fn)(i, worker);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!job.error) job.error = std::current_exception();
+        job.cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    tasks_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t finished =
+        job.done.fetch_add(end - begin, std::memory_order_acq_rel) + (end - begin);
+    if (finished == job.n) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      done_cv_.notify_all();
+    }
+  }
+  if (!got_work) waits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadPool::worker_main(std::size_t worker) {
+  tl_worker = worker;
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    Job* job = job_;
+    if (job == nullptr) continue;
+    ++job->refs;
+    lock.unlock();
+    tl_in_parallel = true;
+    run_chunks(*job, worker);
+    tl_in_parallel = false;
+    lock.lock();
+    --job->refs;
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t grain, const Task& fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+
+  // Serial fallback and nested calls: run inline, in index order.
+  if (threads_ == 1 || n == 1 || tl_in_parallel) {
+    for (std::size_t i = 0; i < n; ++i) fn(i, tl_worker);
+    tasks_.fetch_add((n + grain - 1) / grain, std::memory_order_relaxed);
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.n = n;
+  job.grain = grain;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    TE_CHECK(job_ == nullptr, "concurrent parallel_for on one ThreadPool");
+    job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  tl_in_parallel = true;
+  run_chunks(job, /*worker=*/0);
+  tl_in_parallel = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // Wait for all indices to finish AND all workers to detach before the
+    // stack-allocated job can be retired.
+    done_cv_.wait(lock, [&] {
+      return job.done.load(std::memory_order_acquire) == job.n && job.refs == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::size_t env_default_threads() {
+  if (const char* env = std::getenv("TERRORS_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0) return static_cast<std::size_t>(v);
+  }
+  return 1;
+}
+
+std::mutex g_pool_mutex;
+std::size_t g_threads = static_cast<std::size_t>(-1);  ///< -1 = env not read yet
+std::unique_ptr<ThreadPool> g_pool;
+
+std::size_t resolve(std::size_t threads) {
+  return threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency()) : threads;
+}
+
+}  // namespace
+
+void set_global_threads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_threads = resolve(threads);
+}
+
+std::size_t global_threads() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_threads == static_cast<std::size_t>(-1)) g_threads = resolve(env_default_threads());
+  return g_threads;
+}
+
+ThreadPool& global_pool() {
+  const std::size_t want = global_threads();
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool || g_pool->size() != want) g_pool = std::make_unique<ThreadPool>(want);
+  return *g_pool;
+}
+
+}  // namespace terrors::support

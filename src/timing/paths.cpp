@@ -169,9 +169,23 @@ void PathEnumerator::extend(Search& s, std::size_t k) {
 }
 
 const std::vector<TimingPath>& PathEnumerator::top_paths(GateId endpoint, std::size_t k) {
+  if (frozen_) {
+    // Read-only lookup: concurrent callers share the warmed lists.
+    const auto it = searches_.find(endpoint);
+    TE_CHECK(it != searches_.end(), "frozen PathEnumerator queried for an unwarmed endpoint");
+    const Search& s = *it->second;
+    TE_CHECK(s.paths.size() >= k || s.done,
+             "frozen PathEnumerator queried beyond its warmed depth");
+    return s.paths;
+  }
   Search& s = search_for(endpoint);
   if (s.paths.size() < k && !s.done) extend(s, k);
   return s.paths;
+}
+
+void PathEnumerator::warm(const std::vector<GateId>& endpoints, std::size_t k) {
+  TE_REQUIRE(!frozen_, "cannot warm a frozen PathEnumerator");
+  for (GateId e : endpoints) top_paths(e, k);
 }
 
 bool PathEnumerator::exhausted(GateId endpoint) const {

@@ -77,6 +77,16 @@ class PathEnumerator {
   /// enumerator is destroyed.
   const std::vector<TimingPath>& top_paths(netlist::GateId endpoint, std::size_t k);
 
+  /// Pre-enumerate the top-`k` lists of the given endpoints so later
+  /// top_paths(e, k') calls with k' <= k are pure lookups.
+  void warm(const std::vector<netlist::GateId>& endpoints, std::size_t k);
+
+  /// While frozen, top_paths() is read-only (and therefore safe to call
+  /// concurrently from many threads): querying an endpoint that was not
+  /// warmed, or with a larger k than warmed, throws instead of mutating.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+  [[nodiscard]] bool frozen() const { return frozen_; }
+
   /// True when the list returned by top_paths() is known to contain ALL
   /// paths of the endpoint (search exhausted, no guard tripped).
   [[nodiscard]] bool exhausted(netlist::GateId endpoint) const;
@@ -91,6 +101,7 @@ class PathEnumerator {
   const netlist::Netlist& nl_;
   PathConfig config_;
   Sta sta_;
+  bool frozen_ = false;
   std::unordered_map<netlist::GateId, std::unique_ptr<Search>> searches_;
 };
 

@@ -4,7 +4,7 @@
 //   terrors list                         available benchmarks
 //   terrors program <name>               generated program listing
 //   terrors report [--period P] [--n N]  signoff-style timing report
-//   terrors analyze <name> [--period P] [--scale S] [--runs R]
+//   terrors analyze <name> [--period P] [--scale S] [--runs R] [--threads T]
 //                   [--trace F] [--trace-tree] [--metrics F] [--log-level L]
 //                                        full error-rate analysis row
 //   terrors vcd <name> [--cycles N]      VCD dump of a benchmark window
@@ -24,6 +24,7 @@
 #include "netlist/pipeline.hpp"
 #include "perf/ts_model.hpp"
 #include "sim/vcd.hpp"
+#include "support/thread_pool.hpp"
 #include "timing/report.hpp"
 #include "timing/sta.hpp"
 #include "workloads/generator.hpp"
@@ -161,6 +162,7 @@ int cmd_analyze(int argc, char** argv, const char* name) {
                    {{"--period", true},
                     {"--scale", true},
                     {"--runs", true},
+                    {"--threads", true},
                     {"--trace", true},
                     {"--trace-tree", false},
                     {"--metrics", true},
@@ -170,6 +172,8 @@ int cmd_analyze(int argc, char** argv, const char* name) {
   const double period = num_flag(flags, "--period", 1300.0);
   const double scale = num_flag(flags, "--scale", 1e-4);
   const auto runs = static_cast<std::size_t>(num_flag(flags, "--runs", 4));
+  if (const auto it = flags.find("--threads"); it != flags.end())
+    support::set_global_threads(static_cast<std::size_t>(std::stoul(it->second)));
 
   if (const auto it = flags.find("--log-level"); it != flags.end()) {
     const auto lvl = obs::parse_log_level(it->second);
@@ -296,6 +300,7 @@ void usage() {
       "  program <name>                print the generated program\n"
       "  report [--period P] [--n N]   signoff-style timing report\n"
       "  analyze <name> [--period P] [--scale S] [--runs R]\n"
+      "          [--threads T]         worker threads (0 = all cores; or TERRORS_THREADS)\n"
       "          [--trace FILE]        write a Chrome trace_event JSON phase tree\n"
       "          [--trace-tree]        print the phase tree to stderr\n"
       "          [--metrics FILE]      write the metrics registry as JSON\n"
