@@ -47,6 +47,7 @@ struct RunScale {
   std::size_t runs = 4;
   double scale = 1e-4;  ///< fraction of Table 2 instruction counts simulated
   std::size_t threads = 0;  ///< resolved pool width (after --threads / env)
+  std::string cache_dir;    ///< artifact cache directory ("" = disabled)
 };
 
 inline RunScale parse_scale(int argc, char** argv) {
@@ -60,6 +61,8 @@ inline RunScale parse_scale(int argc, char** argv) {
     } else if (a == "--threads" && i + 1 < argc) {
       support::set_global_threads(static_cast<std::size_t>(std::stoul(argv[i + 1])));
     }
+    if (a.rfind("--cache-dir=", 0) == 0) rs.cache_dir = a.substr(12);
+    if (a == "--cache-dir" && i + 1 < argc) rs.cache_dir = argv[i + 1];
   }
   rs.threads = support::global_pool().size();
   return rs;

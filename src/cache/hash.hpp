@@ -1,0 +1,60 @@
+// Streamed FNV-1a content hashing for cache-key derivation and payload
+// checksums.  Keys are 64-bit digests of the exact bytes that determine an
+// artifact's value (netlist geometry, variation/DTS configuration, program
+// text, execution profile), so any semantic change to an input changes the
+// key and the stale artifact is simply never looked up again.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace terrors::cache {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Incremental FNV-1a 64-bit hasher with typed feed helpers.  All
+/// multi-byte values are folded in little-endian order so digests are
+/// stable across builds of the same platform family.
+class HashStream {
+ public:
+  void bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      h_ ^= p[i];
+      h_ *= kFnvPrime;
+    }
+  }
+
+  void u8(std::uint8_t v) { bytes(&v, 1); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  /// Length-prefixed so "ab","c" and "a","bc" hash differently.
+  void str(std::string_view s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t digest() const { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnvOffsetBasis;
+};
+
+/// One-shot digest of a byte range (payload checksums).
+inline std::uint64_t fnv1a(const void* data, std::size_t len) {
+  HashStream h;
+  h.bytes(data, len);
+  return h.digest();
+}
+
+}  // namespace terrors::cache

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "cache/key.hpp"
+#include "cache/serialize.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -14,13 +16,49 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
+
+std::uint64_t counter_value(const char* name) {
+  return obs::MetricsRegistry::instance().counter(name).value();
+}
 }  // namespace
 
 ErrorRateFramework::ErrorRateFramework(const netlist::Pipeline& pipeline, FrameworkConfig config)
     : pipeline_(pipeline), config_(config), vm_(pipeline.netlist, config.variation) {
   obs::ScopedSpan span("framework.init");
-  datapath_ = std::make_unique<dta::DatapathModel>(
-      dta::DatapathModel::train(pipeline_, vm_, config_.dts));
+
+  if (const std::string dir = cache::resolve_cache_dir(config_.cache_dir); !dir.empty()) {
+    cache_ = std::make_unique<cache::ArtifactCache>(dir);
+    netlist_hash_ = cache::hash_netlist(pipeline_.netlist);
+    variation_hash_ = cache::hash_variation(config_.variation);
+    dts_hash_ = cache::hash_dts_config(config_.dts);
+    charcfg_hash_ = cache::hash_characterizer_config(config_.characterizer);
+    obs::log_info("cache", "artifact cache enabled", {{"dir", dir}});
+  }
+
+  // Datapath-model training is spec-independent (arrival-form parameters),
+  // so its key omits the timing spec.
+  if (cache_) {
+    const std::uint64_t key =
+        cache::combine({cache::kModelVersion, netlist_hash_, variation_hash_, dts_hash_});
+    if (auto bytes = cache_->load("datapath", key)) {
+      cache::ByteReader r(*bytes);
+      if (auto params = cache::decode_datapath(r)) {
+        datapath_ = std::make_unique<dta::DatapathModel>(
+            dta::DatapathModel::from_params(*params));
+      }
+    }
+    if (!datapath_) {
+      datapath_ = std::make_unique<dta::DatapathModel>(
+          dta::DatapathModel::train(pipeline_, vm_, config_.dts));
+      cache::ByteWriter w;
+      cache::encode_datapath(datapath_->params(), w);
+      cache_->store("datapath", key, w.bytes());
+    }
+  } else {
+    datapath_ = std::make_unique<dta::DatapathModel>(
+        dta::DatapathModel::train(pipeline_, vm_, config_.dts));
+  }
+
   characterizer_ = std::make_unique<dta::ControlCharacterizer>(
       pipeline_, vm_, config_.spec, config_.dts, config_.characterizer);
   obs::log_debug("core", "framework initialised",
@@ -52,6 +90,9 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
   result.name = program.name();
   result.basic_blocks = program.block_count();
 
+  const std::uint64_t hits_before = counter_value("cache.hits");
+  const std::uint64_t misses_before = counter_value("cache.misses");
+
   last_ = Artifacts{};
   last_.cfg = std::make_unique<isa::Cfg>(program);
   last_.executor = std::make_unique<isa::Executor>(program, *last_.cfg, config_.executor);
@@ -75,7 +116,65 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
   {
     obs::ScopedSpan phase("training");
     const auto t0 = std::chrono::steady_clock::now();
-    last_.control = characterizer_->characterize(program, *last_.cfg, last_.executor->profile());
+
+    // A control-table hit skips gate-level characterisation entirely; the
+    // key covers everything the tables depend on (see cache/key.hpp), and
+    // the decoder additionally rejects artifacts whose recorded spec is
+    // not bit-identical to the current one.
+    bool loaded = false;
+    std::uint64_t control_key = 0;
+    if (cache_) {
+      control_key = cache::combine(
+          {cache::kModelVersion, netlist_hash_, variation_hash_, dts_hash_, charcfg_hash_,
+           cache::hash_spec(config_.spec), cache::hash_program(program),
+           cache::hash_profile(last_.executor->profile())});
+      if (auto bytes = cache_->load("control", control_key)) {
+        cache::ByteReader r(*bytes);
+        if (auto control = cache::decode_control(r, config_.spec)) {
+          last_.control = std::move(*control);
+          loaded = true;
+        }
+      }
+    }
+
+    if (!loaded) {
+      if (cache_ && !paths_cache_checked_) {
+        // Seed the shared enumerator from the path artifact if present;
+        // characterize() then warms only what's missing.  The path set is
+        // spec- and variation-independent (nominal STA ordering only).
+        paths_cache_checked_ = true;
+        timing::PathEnumerator& paths = characterizer_->analyzer().paths();
+        const std::uint64_t paths_key = cache::combine(
+            {cache::kModelVersion, netlist_hash_, cache::hash_path_config(paths.config()),
+             static_cast<std::uint64_t>(config_.dts.top_k)});
+        bool paths_loaded = false;
+        if (auto bytes = cache_->load("paths", paths_key)) {
+          cache::ByteReader r(*bytes);
+          if (auto warmed = cache::decode_paths(r)) {
+            try {
+              paths.import_warmed(*warmed);
+              paths_loaded = true;
+            } catch (const std::exception& e) {
+              obs::log_warn("cache", "rejecting path artifact",
+                            {{"error", std::string(e.what())}});
+            }
+          }
+        }
+        characterizer_->warm_paths();
+        if (!paths_loaded) {
+          cache::ByteWriter w;
+          cache::encode_paths(paths.export_warmed(), w);
+          cache_->store("paths", paths_key, w.bytes());
+        }
+      }
+      last_.control =
+          characterizer_->characterize(program, *last_.cfg, last_.executor->profile());
+      if (cache_) {
+        cache::ByteWriter w;
+        cache::encode_control(last_.control, config_.spec, w);
+        cache_->store("control", control_key, w.bytes());
+      }
+    }
     result.training_seconds = seconds_since(t0);
   }
   obs::log_info("core", "training phase done",
@@ -121,6 +220,8 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
     registry.gauge("pool.tasks").set(static_cast<double>(stats.tasks));
     registry.gauge("pool.steal_or_wait").set(static_cast<double>(stats.steal_or_wait));
   }
+  result.cache_hits = counter_value("cache.hits") - hits_before;
+  result.cache_misses = counter_value("cache.misses") - misses_before;
   return result;
 }
 

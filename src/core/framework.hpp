@@ -15,10 +15,12 @@
 // mirroring Table 2's runtime columns.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "cache/artifact_cache.hpp"
 #include "core/error_model.hpp"
 #include "core/estimator.hpp"
 #include "core/marginal.hpp"
@@ -41,6 +43,10 @@ struct FrameworkConfig {
   isa::ExecutorConfig executor{};
   dta::DtsConfig dts{};
   dta::ControlCharacterizerConfig characterizer{};
+  /// Directory for the content-addressed artifact cache. Empty (the
+  /// default) disables caching; the TERRORS_CACHE_DIR environment
+  /// variable is honoured when this is empty (see cache::resolve_cache_dir).
+  std::string cache_dir;
 };
 
 /// Full per-benchmark analysis result (one Table 2 row plus the Figure 3
@@ -53,6 +59,10 @@ struct BenchmarkResult {
   double simulation_seconds = 0.0;
   /// Error-model build + marginal solve + limit-theorem estimate.
   double estimation_seconds = 0.0;
+  /// cache.hits / cache.misses deltas accrued during this analyze() call
+  /// (0/0 when the artifact cache is disabled).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
   ErrorRateEstimate estimate;
 };
 
@@ -89,6 +99,15 @@ class ErrorRateFramework {
   const netlist::Pipeline& pipeline_;
   FrameworkConfig config_;
   timing::VariationModel vm_;
+  std::unique_ptr<cache::ArtifactCache> cache_;
+  // Component hashes of the cache key, fixed at construction time.
+  std::uint64_t netlist_hash_ = 0;
+  std::uint64_t variation_hash_ = 0;
+  std::uint64_t dts_hash_ = 0;
+  std::uint64_t charcfg_hash_ = 0;
+  /// The path artifact is consulted/stored at most once per framework:
+  /// after the first characterisation the enumerator already holds the set.
+  bool paths_cache_checked_ = false;
   std::unique_ptr<dta::DatapathModel> datapath_;
   std::unique_ptr<dta::ControlCharacterizer> characterizer_;
   Artifacts last_;

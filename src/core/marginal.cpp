@@ -19,13 +19,20 @@ std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b) {
       obs::MetricsRegistry::instance().histogram("solver.system_size");
   solves.increment();
   sizes.observe(static_cast<double>(n));
+  // Singularity threshold relative to the system's scale: a uniformly
+  // scaled matrix (e.g. tiny edge weights) must solve exactly like its
+  // well-scaled counterpart instead of tripping an absolute cutoff.
+  double max_abs = 0.0;
+  for (const double v : a) max_abs = std::max(max_abs, std::fabs(v));
+  TE_REQUIRE(max_abs > 0.0, "singular system");
+  const double pivot_tol = 1e-14 * max_abs;
   for (std::size_t col = 0; col < n; ++col) {
     // Partial pivot.
     std::size_t pivot = col;
     for (std::size_t r = col + 1; r < n; ++r) {
       if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) pivot = r;
     }
-    TE_REQUIRE(std::fabs(a[pivot * n + col]) > 1e-14, "singular system");
+    TE_REQUIRE(std::fabs(a[pivot * n + col]) > pivot_tol, "singular system");
     if (pivot != col) {
       for (std::size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
       std::swap(b[col], b[pivot]);

@@ -133,6 +133,12 @@ EdgeControlDts ControlCharacterizer::characterize_edge_with(
   return out;
 }
 
+void ControlCharacterizer::warm_paths() {
+  if (paths_warmed_) return;
+  analyzer_.paths().warm(control_endpoints(), dts_config_.top_k);
+  paths_warmed_ = true;
+}
+
 std::vector<netlist::GateId> ControlCharacterizer::control_endpoints() const {
   const netlist::Netlist& nl = pipeline_.netlist;
   std::vector<netlist::GateId> endpoints;
@@ -187,10 +193,7 @@ std::vector<BlockControlDts> ControlCharacterizer::characterize(
   // Pre-warm the shared enumerator once with every control endpoint, then
   // freeze it for the parallel region: workers only read the path lists.
   timing::PathEnumerator& shared_paths = analyzer_.paths();
-  if (!paths_warmed_) {
-    shared_paths.warm(control_endpoints(), dts_config_.top_k);
-    paths_warmed_ = true;
-  }
+  warm_paths();
   shared_paths.set_frozen(true);
 
   struct WorkerCtx {

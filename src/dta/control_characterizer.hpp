@@ -65,6 +65,16 @@ class ControlCharacterizer {
 
   [[nodiscard]] DtsAnalyzer& analyzer() { return analyzer_; }
 
+  /// Pre-enumerate the shared path set over every control endpoint.
+  /// Idempotent; characterize() calls it before its parallel fan-out, and
+  /// the artifact cache uses it to materialise the path set for export.
+  /// After a PathEnumerator::import_warmed this is a cheap no-op pass.
+  void warm_paths();
+
+  /// Control-class capture endpoints of every stage (the set Algorithm 2
+  /// queries), for pre-warming the shared path enumerator.
+  [[nodiscard]] std::vector<netlist::GateId> control_endpoints() const;
+
  private:
   /// The shared characterisation body: pure function of its arguments
   /// plus the (deterministic, order-independent) analyzer caches, so the
@@ -73,10 +83,6 @@ class ControlCharacterizer {
                                         const isa::Program& program, const isa::Cfg& cfg,
                                         const isa::ProgramProfile& profile, isa::BlockId block,
                                         std::ptrdiff_t edge) const;
-
-  /// Control-class capture endpoints of every stage (the set Algorithm 2
-  /// queries), for pre-warming the shared path enumerator.
-  [[nodiscard]] std::vector<netlist::GateId> control_endpoints() const;
 
   const netlist::Pipeline& pipeline_;
   const timing::VariationModel& vm_;

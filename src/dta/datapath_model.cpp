@@ -245,6 +245,22 @@ DatapathModel DatapathModel::train(const netlist::Pipeline& pipeline,
   return model;
 }
 
+DatapathModel::Params DatapathModel::params() const {
+  return {adder_mean_, adder_sd_, adder_gl_, logic_, shift_, pass_, period_ref_};
+}
+
+DatapathModel DatapathModel::from_params(const Params& p) {
+  DatapathModel model;
+  model.adder_mean_ = p.adder_mean;
+  model.adder_sd_ = p.adder_sd;
+  model.adder_gl_ = p.adder_gl;
+  model.logic_ = p.logic;
+  model.shift_ = p.shift;
+  model.pass_ = p.pass;
+  model.period_ref_ = p.period_ref;
+  return model;
+}
+
 std::optional<DtsGaussian> DatapathModel::ex_arrival(const ExContext& cur,
                                                      const ExContext& prev) const {
   switch (cur.unit) {

@@ -52,6 +52,22 @@ class DatapathModel {
   };
   [[nodiscard]] const Linear& adder_mean() const { return adder_mean_; }
 
+  /// Complete trained-parameter snapshot: the model is a pure function of
+  /// these, which is what makes it a cacheable on-disk artifact.
+  struct Params {
+    Linear adder_mean;
+    Linear adder_sd;
+    Linear adder_gl;
+    DtsGaussian logic;
+    DtsGaussian shift;
+    DtsGaussian pass;
+    double period_ref = 0.0;
+  };
+  [[nodiscard]] Params params() const;
+  /// Rebuild a model from a snapshot (warm-start path): bit-identical to
+  /// the trained original because inference only reads these parameters.
+  static DatapathModel from_params(const Params& p);
+
  private:
   // Adder: linear fits in the activated chain length.
   Linear adder_mean_;

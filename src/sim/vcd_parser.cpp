@@ -46,7 +46,7 @@ VcdDump VcdParser::parse(std::istream& in) const {
       in >> type >> width >> id >> name;
       // Consume everything up to $end (names may carry [ranges]).
       std::string rest;
-      while (in >> rest && rest != "$end") name += rest == "$end" ? "" : rest;
+      while (in >> rest && rest != "$end") name += rest;
       TE_REQUIRE(width >= 1, "bad $var width");
       by_id.emplace(id, dump.signals_.size());
       dump.signals_.push_back({id, name, width});
@@ -73,12 +73,18 @@ VcdDump VcdParser::parse(std::istream& in) const {
   std::vector<std::uint8_t> current(dump.signals_.size(), 0);
   double sample_edge = period_ps_;  // next sampling boundary
   bool any_time = false;
+  // True while the window past the last emitted sample holds content (a
+  // timestamp strictly inside it, or a value change): only then does EOF
+  // close a final partial sample.  A dump whose last `#t` lands exactly on
+  // a sampling edge was already fully emitted by close_samples_until.
+  bool partial_pending = false;
 
   auto close_samples_until = [&](double time_ps) {
     while (time_ps >= sample_edge) {
       dump.samples_.push_back(current);
       sample_edge += period_ps_;
     }
+    partial_pending = time_ps > sample_edge - period_ps_;
   };
 
   while (in >> tok) {
@@ -96,6 +102,7 @@ VcdDump VcdParser::parse(std::istream& in) const {
       TE_REQUIRE(it != by_id.end(), "value change for undeclared identifier: " + id);
       // x/z conservatively map to 0.
       current[it->second] = tok[0] == '1' ? 1 : 0;
+      partial_pending = true;
     } else if (tok[0] == 'b' || tok[0] == 'B') {
       // Vector change: bWIDTHBITS identifier.
       std::string id;
@@ -105,12 +112,13 @@ VcdDump VcdParser::parse(std::istream& in) const {
       // Scalar projection: LSB.
       const char lsb = tok.back();
       current[it->second] = lsb == '1' ? 1 : 0;
+      partial_pending = true;
     } else {
       TE_REQUIRE(false, "unexpected token in value-change section: " + tok);
     }
   }
   // Close the final (possibly partial) sample.
-  if (any_time || !dump.samples_.empty()) dump.samples_.push_back(current);
+  if (any_time && partial_pending) dump.samples_.push_back(current);
   return dump;
 }
 

@@ -90,13 +90,18 @@ DiscreteDistribution DiscreteDistribution::compacted(double tol) const {
   TE_REQUIRE(tol >= 0.0, "negative tolerance");
   std::vector<double> v;
   std::vector<double> w;
+  // Anchor each bucket at its first (smallest) value: comparing against the
+  // drifting weighted mean lets a chain of points, each within tol of its
+  // neighbour, collapse a span far wider than tol.
+  double anchor = 0.0;
   for (std::size_t i = 0; i < values_.size(); ++i) {
-    if (!v.empty() && values_[i] - v.back() <= tol) {
-      // Merge into previous bucket, keeping the probability-weighted mean.
+    if (!v.empty() && values_[i] - anchor <= tol) {
+      // Merge into the open bucket, keeping the probability-weighted mean.
       const double wt = w.back() + weights_[i];
       v.back() = (v.back() * w.back() + values_[i] * weights_[i]) / wt;
       w.back() = wt;
     } else {
+      anchor = values_[i];
       v.push_back(values_[i]);
       w.push_back(weights_[i]);
     }

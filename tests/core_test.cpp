@@ -49,6 +49,22 @@ TEST(SolveDense, RejectsSingular) {
   EXPECT_THROW(solve_dense({1, 2, 2, 4}, {1, 2}), std::invalid_argument);
 }
 
+TEST(SolveDense, SolvesUniformlyScaledDownSystem) {
+  // A well-conditioned system scaled by 1e-15 is still uniquely solvable;
+  // an absolute pivot threshold would reject every pivot as "singular".
+  const double s = 1e-15;
+  const auto x = solve_dense({2 * s, 1 * s, 1 * s, 3 * s}, {5 * s, 10 * s});
+  ASSERT_EQ(x.size(), 2u);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(SolveDense, StillRejectsScaledSingular) {
+  const double s = 1e-15;
+  EXPECT_THROW(solve_dense({1 * s, 2 * s, 2 * s, 4 * s}, {s, 2 * s}),
+               std::invalid_argument);
+}
+
 TEST(SolveDense, RandomRoundTrip) {
   support::Rng rng(3);
   for (int trial = 0; trial < 20; ++trial) {

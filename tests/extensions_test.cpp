@@ -72,6 +72,32 @@ TEST(VcdParser, RejectsMalformedStreams) {
   EXPECT_THROW((void)parser.parse(unknown_id), std::invalid_argument);
 }
 
+TEST(VcdParser, NoDuplicateSampleWhenDumpEndsOnPeriodBoundary) {
+  // The last `#t` lands exactly on a sampling edge: close_samples_until
+  // already emitted that sample, so EOF must not emit it again.
+  std::istringstream is(
+      "$var wire 1 ! sig $end $enddefinitions $end\n"
+      "#0 1!\n#1000 0!\n#2000\n");
+  const sim::VcdDump dump = sim::VcdParser(1000.0).parse(is);
+  const auto s = static_cast<std::size_t>(dump.signal_index("sig"));
+  ASSERT_EQ(dump.sample_count(), 2u);
+  EXPECT_TRUE(dump.value(0, s));
+  EXPECT_FALSE(dump.value(1, s));
+}
+
+TEST(VcdParser, ValueChangeAfterOnEdgeTimeStillClosesPartialSample) {
+  // A change after the on-edge `#t` opens a new partial window, which EOF
+  // must still flush.
+  std::istringstream is(
+      "$var wire 1 ! sig $end $enddefinitions $end\n"
+      "#0 1!\n#1000 0!\n#2000 1!\n");
+  const sim::VcdDump dump = sim::VcdParser(1000.0).parse(is);
+  const auto s = static_cast<std::size_t>(dump.signal_index("sig"));
+  ASSERT_EQ(dump.sample_count(), 3u);
+  EXPECT_FALSE(dump.value(1, s));
+  EXPECT_TRUE(dump.value(2, s));
+}
+
 TEST(VcdParser, ChangedTracksSampleDeltas) {
   std::istringstream is(
       "$var wire 1 ! sig $end $enddefinitions $end\n"

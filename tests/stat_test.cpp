@@ -212,6 +212,24 @@ TEST(Discrete, CompactMergesNearbyAtoms) {
   EXPECT_NEAR(c.mean(), d.mean(), 1e-9);
 }
 
+TEST(Discrete, CompactBucketSpanBoundedByTolerance) {
+  // A chain of atoms each within tol of its neighbour must not collapse
+  // into one bucket spanning far more than tol: buckets are anchored at
+  // their first value, so each bucket covers at most [anchor, anchor+tol].
+  const std::vector<double> values = {0.0, 0.009, 0.018, 0.027, 0.036};
+  DiscreteDistribution d(values, {1.0, 1.0, 1.0, 1.0, 1.0});
+  const double tol = 0.01;
+  const DiscreteDistribution c = d.compacted(tol);
+  EXPECT_EQ(c.support_size(), 3u);
+  EXPECT_NEAR(c.mean(), d.mean(), 1e-12);
+  // Every source atom sits within tol of the bucket it merged into.
+  for (double v : values) {
+    double best = 1e300;
+    for (double cv : c.values()) best = std::min(best, std::fabs(cv - v));
+    EXPECT_LE(best, tol) << "atom " << v << " drifted beyond tol";
+  }
+}
+
 // --- PoissonMixture ----------------------------------------------------------
 
 TEST(PoissonMixture, DegenerateLambdaEqualsPoisson) {

@@ -6,7 +6,7 @@
 //   terrors report [--period P] [--n N]  signoff-style timing report
 //   terrors analyze <name> [--period P] [--scale S] [--runs R] [--threads T]
 //                   [--trace F] [--trace-tree] [--metrics F] [--log-level L]
-//                                        full error-rate analysis row
+//                   [--cache-dir D]      full error-rate analysis row
 //   terrors vcd <name> [--cycles N]      VCD dump of a benchmark window
 #include <cstdio>
 #include <cstring>
@@ -166,7 +166,8 @@ int cmd_analyze(int argc, char** argv, const char* name) {
                     {"--trace", true},
                     {"--trace-tree", false},
                     {"--metrics", true},
-                    {"--log-level", true}},
+                    {"--log-level", true},
+                    {"--cache-dir", true}},
                    flags))
     return 1;
   const double period = num_flag(flags, "--period", 1300.0);
@@ -189,6 +190,7 @@ int cmd_analyze(int argc, char** argv, const char* name) {
   core::FrameworkConfig cfg;
   cfg.spec = timing::TimingSpec{period};
   cfg.execution_scale = 1.0 / scale;
+  if (const auto it = flags.find("--cache-dir"); it != flags.end()) cfg.cache_dir = it->second;
   core::ErrorRateFramework framework(pipe(), cfg);
   framework.set_executor_config(workloads::executor_config_for(*spec, runs, scale));
   const auto r = framework.analyze(workloads::generate_program(*spec),
@@ -204,6 +206,10 @@ int cmd_analyze(int argc, char** argv, const char* name) {
               r.estimate.dk_count);
   std::printf("  train / sim time : %.2f s / %.3f s\n", r.training_seconds,
               r.simulation_seconds);
+  if (r.cache_hits + r.cache_misses > 0)
+    std::printf("  artifact cache   : %llu hits, %llu misses\n",
+                static_cast<unsigned long long>(r.cache_hits),
+                static_cast<unsigned long long>(r.cache_misses));
   std::printf("  TS net perf      : %+.2f %%\n",
               100.0 * ts.performance_improvement(std::min(1.0, r.estimate.rate_mean())));
 
@@ -305,6 +311,8 @@ void usage() {
       "          [--trace-tree]        print the phase tree to stderr\n"
       "          [--metrics FILE]      write the metrics registry as JSON\n"
       "          [--log-level LVL]     error|warn|info|debug|trace (default off)\n"
+      "          [--cache-dir DIR]     content-addressed artifact cache (or\n"
+      "                                TERRORS_CACHE_DIR; off by default)\n"
       "  vcd <name> [--cycles N]       dump a VCD window to stdout\n"
       "flags accept both '--flag value' and '--flag=value'\n",
       stderr);
