@@ -15,7 +15,7 @@ using namespace terrors;
 
 int main(int argc, char** argv) {
   const auto rs = bench::parse_scale(argc, argv);
-  bench::JsonReport report(argc, argv, "frequency_sweep");
+  bench::JsonReport report(argc, argv, "frequency_sweep", "BENCH_frequency_sweep.json");
   bool all = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--all") all = true;
@@ -28,6 +28,16 @@ int main(int argc, char** argv) {
   if (all) {
     picks.clear();
     for (std::size_t i = 0; i < workloads::mibench_specs().size(); ++i) picks.push_back(i);
+  }
+  if (!rs.only.empty()) {
+    picks.clear();
+    for (std::size_t i = 0; i < workloads::mibench_specs().size(); ++i) {
+      if (workloads::mibench_specs()[i].name == rs.only) picks.push_back(i);
+    }
+    if (picks.empty()) {
+      std::fprintf(stderr, "unknown benchmark '%s'\n", rs.only.c_str());
+      return 1;
+    }
   }
 
   std::printf("Error rate and performance vs frequency (scale %.0e, %zu threads)\n\n", rs.scale,

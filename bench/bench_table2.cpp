@@ -17,7 +17,7 @@ using namespace terrors;
 
 int main(int argc, char** argv) {
   const auto rs = bench::parse_scale(argc, argv);
-  bench::JsonReport report(argc, argv, "table2");
+  bench::JsonReport report(argc, argv, "table2", "BENCH_table2.json");
   auto cfg = bench::default_config();
   cfg.execution_scale = 1.0 / rs.scale;  // evaluate the bounds at paper scale
   cfg.cache_dir = rs.cache_dir;  // --cache-dir: also measure a warm repeat
@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   std::size_t total_blocks = 0;
 
   for (const auto& spec : workloads::mibench_specs()) {
+    if (!rs.only.empty() && spec.name != rs.only) continue;
     const isa::Program program = workloads::generate_program(spec);
     framework.set_executor_config(workloads::executor_config_for(spec, rs.runs, rs.scale));
 

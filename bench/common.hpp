@@ -48,6 +48,7 @@ struct RunScale {
   double scale = 1e-4;  ///< fraction of Table 2 instruction counts simulated
   std::size_t threads = 0;  ///< resolved pool width (after --threads / env)
   std::string cache_dir;    ///< artifact cache directory ("" = disabled)
+  std::string only;         ///< restrict to one benchmark (CI smoke runs)
 };
 
 inline RunScale parse_scale(int argc, char** argv) {
@@ -63,6 +64,8 @@ inline RunScale parse_scale(int argc, char** argv) {
     }
     if (a.rfind("--cache-dir=", 0) == 0) rs.cache_dir = a.substr(12);
     if (a == "--cache-dir" && i + 1 < argc) rs.cache_dir = argv[i + 1];
+    if (a.rfind("--only=", 0) == 0) rs.only = a.substr(7);
+    if (a == "--only" && i + 1 < argc) rs.only = argv[i + 1];
   }
   rs.threads = support::global_pool().size();
   return rs;
@@ -73,23 +76,24 @@ inline void hr(int width = 110) {
   std::putchar('\n');
 }
 
-/// Machine-readable per-benchmark records.  Activated by `--json=FILE`
-/// (or `--json FILE`) on the bench command line, or the
-/// TERRORS_BENCH_JSON environment variable; inert otherwise, so default
-/// bench stdout is unchanged.  On destruction writes
+/// Machine-readable per-benchmark records.  The output path is resolved
+/// as `--json=FILE` (or `--json FILE`) > the TERRORS_BENCH_JSON
+/// environment variable > `default_path`.  The trajectory benches pass
+/// their repo-root convention name (BENCH_<bench>.json) as the default so
+/// every run refreshes the perf trajectory; `--json=` (empty value)
+/// disables the file entirely.  Benches without a default stay inert, so
+/// their default stdout is unchanged.  On destruction writes
 ///   {"bench": ..., "records": [{...}, ...], "metrics": {...}}
 /// where "metrics" is the process-wide obs::MetricsRegistry snapshot.
 class JsonReport {
  public:
-  JsonReport(int argc, char** argv, std::string bench_name)
-      : bench_name_(std::move(bench_name)) {
+  JsonReport(int argc, char** argv, std::string bench_name, std::string default_path = "")
+      : bench_name_(std::move(bench_name)), path_(std::move(default_path)) {
+    if (const char* env = std::getenv("TERRORS_BENCH_JSON")) path_ = env;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       if (a.rfind("--json=", 0) == 0) path_ = a.substr(7);
       if (a == "--json" && i + 1 < argc) path_ = argv[i + 1];
-    }
-    if (path_.empty()) {
-      if (const char* env = std::getenv("TERRORS_BENCH_JSON")) path_ = env;
     }
   }
 

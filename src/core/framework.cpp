@@ -73,7 +73,8 @@ void ErrorRateFramework::set_spec(timing::TimingSpec spec) {
 }
 
 BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
-                                            const std::vector<isa::ProgramInput>& inputs) {
+                                            const std::vector<isa::ProgramInput>& inputs,
+                                            AnalysisObserver* observer) {
   TE_REQUIRE(!inputs.empty(), "analyze() needs at least one input dataset");
   static obs::Counter& analyze_calls =
       obs::MetricsRegistry::instance().counter("core.analyze_calls");
@@ -192,7 +193,7 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
           model.build(program, *last_.cfg, last_.executor->profile(), last_.control);
     }
     const MarginalSolver solver(program, *last_.cfg, last_.executor->profile());
-    last_.marginals = solver.solve(last_.conditionals);
+    last_.marginals = solver.solve(last_.conditionals, observer);
 
     obs::ScopedSpan estimate_span("estimate");
     EstimatorInputs est_in;
@@ -202,6 +203,7 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
     est_in.marginals = &last_.marginals;
     est_in.execution_scale = config_.execution_scale;
     est_in.chen_stein_radius = config_.chen_stein_radius;
+    est_in.observer = observer;
     result.estimate = estimate_error_rate(est_in);
     result.estimation_seconds = seconds_since(t0);
   }

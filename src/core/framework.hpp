@@ -24,6 +24,7 @@
 #include "core/error_model.hpp"
 #include "core/estimator.hpp"
 #include "core/marginal.hpp"
+#include "core/observer.hpp"
 #include "dta/control_characterizer.hpp"
 #include "dta/datapath_model.hpp"
 #include "isa/executor.hpp"
@@ -70,13 +71,21 @@ class ErrorRateFramework {
  public:
   ErrorRateFramework(const netlist::Pipeline& pipeline, FrameworkConfig config = {});
 
-  /// Analyse one program over the given input datasets.
+  /// Analyse one program over the given input datasets.  An attached
+  /// observer receives solver and attribution diagnostics during the
+  /// (serial) estimation phase; it is bit-invisible to the returned
+  /// result, the artifacts, and every non-report metric (DESIGN §5e).
   [[nodiscard]] BenchmarkResult analyze(const isa::Program& program,
-                                        const std::vector<isa::ProgramInput>& inputs);
+                                        const std::vector<isa::ProgramInput>& inputs,
+                                        AnalysisObserver* observer = nullptr);
 
   [[nodiscard]] const dta::DatapathModel& datapath_model() const { return *datapath_; }
   [[nodiscard]] const timing::VariationModel& variation_model() const { return vm_; }
   [[nodiscard]] const FrameworkConfig& config() const { return config_; }
+  /// The control characterizer (shared path enumerator, DTS analyzer);
+  /// the report builder queries it for culprit-path statistics.
+  [[nodiscard]] dta::ControlCharacterizer& characterizer() { return *characterizer_; }
+  [[nodiscard]] const netlist::Pipeline& pipeline() const { return pipeline_; }
   /// Change the operating point (affects subsequent analyze() calls).
   void set_spec(timing::TimingSpec spec);
   /// Per-benchmark executor configuration (instruction budget, reservoir).

@@ -61,7 +61,7 @@ MarginalSolver::MarginalSolver(const isa::Program& program, const isa::Cfg& cfg,
 }
 
 std::vector<BlockMarginals> MarginalSolver::solve(
-    const std::vector<BlockErrorDistributions>& cond) const {
+    const std::vector<BlockErrorDistributions>& cond, AnalysisObserver* observer) const {
   const std::size_t nb = program_.block_count();
   TE_REQUIRE(cond.size() == nb, "conditional distributions/program mismatch");
   obs::ScopedSpan span("marginal.solve");
@@ -90,6 +90,13 @@ std::vector<BlockMarginals> MarginalSolver::solve(
   std::vector<double> alpha(nb, 0.0);
   std::vector<double> beta(nb, 0.0);
   std::vector<double> p_in(nb, 0.0);
+  // Observer diagnostics, aggregated across the M sample worlds.
+  std::vector<double> scc_residual;
+  std::vector<std::uint8_t> scc_touched;
+  if (observer != nullptr) {
+    scc_residual.assign(cfg_.scc_count(), 0.0);
+    scc_touched.assign(cfg_.scc_count(), 0);
+  }
   for (std::size_t s = 0; s < m; ++s) {
     // Affine fold of Eq. (1): p_out = alpha + beta * p_in.
     for (BlockId b = 0; b < nb; ++b) {
@@ -135,6 +142,7 @@ std::vector<BlockMarginals> MarginalSolver::solve(
       for (BlockId b : members) any = any || cond[b].executed;
       if (!any) continue;
 
+      if (observer != nullptr) scc_touched[scc] = 1;
       if (!cfg_.scc_is_cyclic(scc)) {
         const BlockId b = members[0];
         if (!cond[b].executed) continue;
@@ -173,7 +181,21 @@ std::vector<BlockMarginals> MarginalSolver::solve(
         }
         rhs[i] = r;
       }
-      const std::vector<double> x = solve_dense(std::move(mat), std::move(rhs));
+      std::vector<double> x;
+      if (observer != nullptr) {
+        // Keep the pre-solve system: solve_dense factors in place, and the
+        // residual must be measured against the original A and b.
+        x = solve_dense(mat, rhs);
+        double r = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          double ax = 0.0;
+          for (std::size_t c = 0; c < n; ++c) ax += mat[i * n + c] * x[c];
+          r = std::max(r, std::fabs(ax - rhs[i]));
+        }
+        scc_residual[scc] = std::max(scc_residual[scc], r);
+      } else {
+        x = solve_dense(std::move(mat), std::move(rhs));
+      }
       for (std::size_t i = 0; i < n; ++i) p_in[members[i]] = x[i];
     }
 
@@ -188,6 +210,18 @@ std::vector<BlockMarginals> MarginalSolver::solve(
         prev = pe * prev + pc * (1.0 - prev);
         out[b].instr[k][s] = prev;
       }
+    }
+  }
+
+  if (observer != nullptr) {
+    for (std::uint32_t scc : cfg_.scc_topo_order()) {
+      if (!scc_touched[scc]) continue;
+      SccSolveDiag diag;
+      diag.scc = scc;
+      diag.size = cfg_.scc_members(scc).size();
+      diag.cyclic = cfg_.scc_is_cyclic(scc);
+      diag.max_residual = scc_residual[scc];
+      observer->on_scc_solve(diag);
     }
   }
   return out;

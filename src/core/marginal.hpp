@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/error_model.hpp"
+#include "core/observer.hpp"
 #include "isa/cfg.hpp"
 #include "isa/executor.hpp"
 #include "isa/program.hpp"
@@ -35,8 +36,13 @@ class MarginalSolver {
   MarginalSolver(const isa::Program& program, const isa::Cfg& cfg,
                  const isa::ProgramProfile& profile);
 
+  /// With an observer attached, per-SCC solve diagnostics (size, cyclic,
+  /// max residual over sample worlds) are reported after the solve.  The
+  /// observer is bit-invisible to the returned marginals: residuals are
+  /// computed from pre-solve copies, never from the factored system.
   [[nodiscard]] std::vector<BlockMarginals> solve(
-      const std::vector<BlockErrorDistributions>& cond) const;
+      const std::vector<BlockErrorDistributions>& cond,
+      AnalysisObserver* observer = nullptr) const;
 
  private:
   const isa::Program& program_;

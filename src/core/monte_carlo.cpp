@@ -1,6 +1,7 @@
 #include "core/monte_carlo.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
@@ -58,6 +59,34 @@ double empirical_cdf(const std::vector<std::uint64_t>& counts, std::uint64_t k) 
   std::size_t le = 0;
   for (std::uint64_t c : counts) le += c <= k ? 1u : 0u;
   return static_cast<double>(le) / static_cast<double>(counts.size());
+}
+
+double mc_analytic_divergence(const std::vector<std::uint64_t>& counts,
+                              const ErrorRateEstimate& est) {
+  TE_REQUIRE(!counts.empty(), "empty Monte-Carlo sample");
+  // The empirical CDF is a step function jumping at the observed counts,
+  // so the sup distance is attained at (or just below) an observed value.
+  std::vector<std::uint64_t> sorted = counts;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  const double n = static_cast<double>(counts.size());
+  double d = 0.0;
+  std::size_t below = 0;  // trials with count < k, maintained over sorted ks
+  std::size_t idx = 0;
+  std::vector<std::uint64_t> all = counts;
+  std::sort(all.begin(), all.end());
+  for (const std::uint64_t k : sorted) {
+    while (idx < all.size() && all[idx] < k) ++idx;
+    below = idx;
+    std::size_t at = idx;
+    while (at < all.size() && all[at] == k) ++at;
+    const double analytic = est.count_cdf(static_cast<std::int64_t>(k));
+    const double emp_at = static_cast<double>(at) / n;          // Pr(N <= k)
+    const double emp_before = static_cast<double>(below) / n;   // Pr(N < k)
+    d = std::max(d, std::fabs(emp_at - analytic));
+    d = std::max(d, std::fabs(emp_before - analytic));
+  }
+  return d;
 }
 
 }  // namespace terrors::core

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/error_model.hpp"
+#include "core/estimator.hpp"
 #include "isa/executor.hpp"
 #include "support/rng.hpp"
 
@@ -38,5 +39,14 @@ namespace terrors::core {
 
 /// Empirical CDF helper: Pr(count <= k) over the trial results.
 [[nodiscard]] double empirical_cdf(const std::vector<std::uint64_t>& counts, std::uint64_t k);
+
+/// Kolmogorov distance between the Monte-Carlo empirical error-count CDF
+/// and the analytic mixture CDF of `est` (Eq. 14), evaluated at every
+/// observed count value.  The report subsystem records this as the
+/// "MC vs analytic divergence" diagnostic; the Chen–Stein bound dk_count
+/// should dominate it (up to MC sampling noise) when the approximation
+/// chain holds.
+[[nodiscard]] double mc_analytic_divergence(const std::vector<std::uint64_t>& counts,
+                                            const ErrorRateEstimate& est);
 
 }  // namespace terrors::core

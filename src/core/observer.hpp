@@ -1,0 +1,47 @@
+// Analysis observation hooks: a minimal interface the estimation pipeline
+// calls into when a collector is attached (src/report's
+// AttributionCollector implements it).
+//
+// The interface lives in core so the hot layers (marginal solver,
+// estimator) can notify a collector without core depending on the report
+// subsystem.  The determinism contract (DESIGN §5e): an attached observer
+// may cost extra work (e.g. the solver keeps pre-solve copies to compute
+// residuals) but must be bit-invisible to every analysis output —
+// estimates, marginals, and non-report metrics are identical with and
+// without it, at any thread count.  All hooks fire from the serial
+// estimation phase, so implementations need no locking.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+#include "stat/samples.hpp"
+
+namespace terrors::core {
+
+/// Diagnostics of one strongly-connected component's marginal solve,
+/// aggregated over the M sample worlds.
+struct SccSolveDiag {
+  std::uint32_t scc = 0;
+  std::size_t size = 0;   ///< member blocks
+  bool cyclic = false;    ///< solved as a dense linear system
+  /// max_s max_i |A x - b| over the component's per-sample solves
+  /// (0 for acyclic components, which are solved by substitution).
+  double max_residual = 0.0;
+};
+
+class AnalysisObserver {
+ public:
+  virtual ~AnalysisObserver() = default;
+
+  /// One executed SCC of the marginal solve (fires once per SCC, after
+  /// all sample worlds are solved).
+  virtual void on_scc_solve(const SccSolveDiag& diag) = 0;
+
+  /// Block `b`'s contribution to lambda = E[N_E]: the aligned sample
+  /// vector e_b * sum_k p_{b_k}(s).  Summing the means over blocks
+  /// recovers the headline lambda.mean up to FP re-association.
+  virtual void on_block_lambda(isa::BlockId b, const stat::Samples& contribution) = 0;
+};
+
+}  // namespace terrors::core

@@ -142,6 +142,17 @@ DtsAnalyzer::EndpointCache& DtsAnalyzer::endpoint_cache(GateId endpoint) {
   return c;
 }
 
+std::vector<DtsAnalyzer::EndpointPath> DtsAnalyzer::endpoint_path_stats(GateId endpoint,
+                                                                        std::size_t k) {
+  const EndpointCache& c = endpoint_cache(endpoint);
+  const auto& candidates = paths_->top_paths(endpoint, config_.top_k);
+  const std::size_t n = std::min(k, c.built);
+  std::vector<EndpointPath> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back({&candidates[i], &c.stats[i]});
+  return out;
+}
+
 std::optional<PathStat> DtsAnalyzer::endpoint_critical_activated(GateId endpoint,
                                                                  CycleActivation& cycle) {
   const auto& flags = cycle.flags();

@@ -123,6 +123,20 @@ class DtsAnalyzer {
   /// call, for inspection and for Algorithm 2's cross-stage minimum.
   [[nodiscard]] const std::vector<timing::PathStat>& last_ap() const { return last_ap_; }
 
+  /// The endpoint's enumerated candidate paths paired with their SSTA
+  /// statistics, in enumeration (non-increasing nominal delay) order,
+  /// capped at min(k, config().top_k).  Shares the per-endpoint cache the
+  /// stage_dts queries build, so after an analysis this is a pure lookup.
+  /// Pointers stay valid until the next call that extends the same
+  /// endpoint's cache.  The report subsystem uses this to surface the
+  /// culprit timing paths behind the error attribution.
+  struct EndpointPath {
+    const timing::TimingPath* path = nullptr;
+    const timing::PathStat* stat = nullptr;
+  };
+  [[nodiscard]] std::vector<EndpointPath> endpoint_path_stats(netlist::GateId endpoint,
+                                                              std::size_t k);
+
  private:
   /// Per-endpoint cache of candidate-path statistics and the two
   /// percentile orderings (they do not depend on the cycle).

@@ -1,8 +1,37 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "obs/json.hpp"
 
 namespace terrors::obs {
+
+void Histogram::reservoir_observe(double v) {
+  if (seen_ % stride_ == 0) {
+    if (reservoir_.size() == kReservoirDepth) {
+      // Compact: keep every other sample (preserving the systematic
+      // spacing) and double the stride going forward.
+      for (std::size_t i = 1; 2 * i < reservoir_.size(); ++i) reservoir_[i] = reservoir_[2 * i];
+      reservoir_.resize(kReservoirDepth / 2);
+      stride_ *= 2;
+      if (seen_ % stride_ == 0) reservoir_.push_back(v);
+    } else {
+      reservoir_.push_back(v);
+    }
+  }
+  ++seen_;
+}
+
+double Histogram::quantile(double p) const {
+  if (reservoir_.empty()) return 0.0;
+  std::vector<double> sorted = reservoir_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                       std::floor(p * static_cast<double>(sorted.size()))));
+  return sorted[idx];
+}
 
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
@@ -79,9 +108,90 @@ void MetricsRegistry::write_json(std::ostream& os) const {
     json_number(os, s.empty() ? 0.0 : s.min());
     os << ",\"max\":";
     json_number(os, s.empty() ? 0.0 : s.max());
+    os << ",\"p50\":";
+    json_number(os, h.quantile(0.50));
+    os << ",\"p95\":";
+    json_number(os, h.quantile(0.95));
+    os << ",\"p99\":";
+    json_number(os, h.quantile(0.99));
     os << "}";
   }
   os << "}}\n";
+}
+
+std::string prometheus_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_sanitize_name(std::string_view name) {
+  std::string out = "terrors_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+namespace {
+
+void prom_number(std::ostream& os, double v) {
+  if (std::isnan(v)) {
+    os << "NaN";
+  } else if (std::isinf(v)) {
+    os << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    json_number(os, v);  // same round-trippable formatting
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    const std::string prom = prometheus_sanitize_name(name);
+    os << "# TYPE " << prom << " counter\n";
+    os << prom << " " << c.value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string prom = prometheus_sanitize_name(name);
+    os << "# TYPE " << prom << " gauge\n";
+    os << prom << " ";
+    prom_number(os, g.value());
+    os << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string prom = prometheus_sanitize_name(name);
+    const auto& s = h.stats();
+    os << "# TYPE " << prom << " summary\n";
+    for (const auto& [q, label] :
+         {std::pair<double, const char*>{0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}}) {
+      os << prom << "{quantile=\"" << prometheus_escape_label(label) << "\"} ";
+      prom_number(os, h.quantile(q));
+      os << "\n";
+    }
+    os << prom << "_sum ";
+    prom_number(os, s.empty() ? 0.0 : s.mean() * static_cast<double>(s.count()));
+    os << "\n" << prom << "_count " << s.count() << "\n";
+  }
 }
 
 }  // namespace terrors::obs

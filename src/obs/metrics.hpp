@@ -25,6 +25,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "support/accumulator.hpp"
 
@@ -52,12 +53,44 @@ class Gauge {
 
 class Histogram {
  public:
-  void observe(double v) { acc_.add(v); }
+  /// Fixed depth of the deterministic reservoir backing the quantile
+  /// estimates.  Small on purpose: a histogram handle lives for the
+  /// process lifetime, and the moments already capture the bulk shape.
+  static constexpr std::size_t kReservoirDepth = 64;
+
+  void observe(double v) {
+    acc_.add(v);
+    reservoir_observe(v);
+  }
   [[nodiscard]] const support::MomentAccumulator& stats() const { return acc_; }
-  void reset() { acc_.reset(); }
+
+  /// Quantile estimate over the reservoir (nearest-rank, matching
+  /// stat::Samples::quantile); 0 when nothing was observed.  Exact for
+  /// streams up to kReservoirDepth samples; beyond that the reservoir is
+  /// a systematic (every stride-th) sample of the stream, so the estimate
+  /// is deterministic — identical streams give identical quantiles.
+  [[nodiscard]] double quantile(double p) const;
+
+  /// Reservoir snapshot (unsorted, stream order), for tests.
+  [[nodiscard]] const std::vector<double>& reservoir() const { return reservoir_; }
+
+  void reset() {
+    acc_.reset();
+    reservoir_.clear();
+    stride_ = 1;
+    seen_ = 0;
+  }
 
  private:
+  /// Deterministic systematic sampling: keep every stride_-th observation;
+  /// when the buffer fills, drop every other kept sample and double the
+  /// stride.  No RNG, so replays are bit-reproducible.
+  void reservoir_observe(double v);
+
   support::MomentAccumulator acc_;
+  std::vector<double> reservoir_;
+  std::uint64_t stride_ = 1;
+  std::uint64_t seen_ = 0;
 };
 
 class MetricsRegistry {
@@ -75,7 +108,15 @@ class MetricsRegistry {
   [[nodiscard]] std::size_t size() const;
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,...}}}
+  /// Histogram entries include reservoir quantiles p50/p95/p99.
   void write_json(std::ostream& os) const;
+
+  /// Prometheus text exposition format (version 0.0.4): counters and
+  /// gauges as single samples, histograms as summaries (quantile-labelled
+  /// samples plus _sum/_count).  Metric names are sanitised to the
+  /// Prometheus charset under a "terrors_" prefix; label values are
+  /// escaped per the format spec (see prometheus_escape_label).
+  void write_prometheus(std::ostream& os) const;
 
  private:
   MetricsRegistry() = default;
@@ -85,5 +126,13 @@ class MetricsRegistry {
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
 };
+
+/// Escape a Prometheus label value: backslash, double quote, and newline
+/// must be backslash-escaped inside the quoted label string.
+[[nodiscard]] std::string prometheus_escape_label(std::string_view value);
+
+/// Map an arbitrary metric name onto the Prometheus name charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]* by replacing every other character with '_'.
+[[nodiscard]] std::string prometheus_sanitize_name(std::string_view name);
 
 }  // namespace terrors::obs

@@ -1,0 +1,300 @@
+#include "report/json_value.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace terrors::report {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t pos, const std::string& what) {
+  throw std::runtime_error("JSON parse error at byte " + std::to_string(pos) + ": " + what);
+}
+
+}  // namespace
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    skip_ws();
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing content");
+    return v;
+  }
+
+ private:
+  JsonValue value() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"': {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::kString;
+        v.string_ = string();
+        return v;
+      }
+      case 't':
+        literal("true");
+        return boolean(true);
+      case 'f':
+        literal("false");
+        return boolean(false);
+      case 'n': {
+        literal("null");
+        return JsonValue{};
+      }
+      default:
+        return number();
+    }
+  }
+
+  static JsonValue boolean(bool b) {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kBool;
+    v.bool_ = b;
+    return v;
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail(pos_, "expected object key");
+      std::string key = string();
+      skip_ws();
+      if (peek() != ':') fail(pos_, "expected ':'");
+      ++pos_;
+      skip_ws();
+      v.members_.emplace_back(std::move(key), value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      fail(pos_, "expected ',' or '}'");
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind_ = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      v.items_.push_back(value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      fail(pos_, "expected ',' or ']'");
+    }
+  }
+
+  std::string string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_];
+      if (c == '\\') {
+        if (pos_ + 1 >= text_.size()) fail(pos_, "dangling escape");
+        ++pos_;
+        switch (text_[pos_]) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) fail(pos_, "truncated \\u escape");
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                fail(pos_, "bad \\u escape digit");
+              }
+            }
+            pos_ += 4;
+            // Our writers only escape control characters, which fit one
+            // byte; decode anything wider as UTF-8 to stay lossless.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail(pos_, "unknown escape");
+        }
+        ++pos_;
+      } else {
+        out += c;
+        ++pos_;
+      }
+    }
+    if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  JsonValue number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail(start, "expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail(start, "malformed number");
+    JsonValue out;
+    out.kind_ = JsonValue::Kind::kNumber;
+    out.number_ = v;
+    return out;
+  }
+
+  void literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) fail(pos_, "bad literal");
+    pos_ += lit.size();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue JsonValue::parse(std::string_view text) { return JsonParser(text).run(); }
+
+double JsonValue::as_number() const {
+  if (kind_ != Kind::kNumber) throw std::runtime_error("JSON value is not a number");
+  return number_;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::kBool) throw std::runtime_error("JSON value is not a bool");
+  return bool_;
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  const double v = as_number();
+  if (v < 0.0 || std::floor(v) != v) throw std::runtime_error("JSON number is not a uint");
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::kString) throw std::runtime_error("JSON value is not a string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::kArray) throw std::runtime_error("JSON value is not an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (kind_ != Kind::kObject) throw std::runtime_error("JSON value is not an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr) throw std::runtime_error("missing JSON key '" + std::string(key) + "'");
+  return *v;
+}
+
+double JsonValue::get_number(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  // Our writers emit non-finite doubles as null; treat that as absent.
+  return (v == nullptr || v->is_null()) ? fallback : v->as_number();
+}
+
+std::uint64_t JsonValue::get_uint(std::string_view key, std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  return (v == nullptr || v->is_null()) ? fallback : v->as_uint();
+}
+
+}  // namespace terrors::report

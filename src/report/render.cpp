@@ -1,0 +1,98 @@
+#include "report/render.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace terrors::report {
+
+namespace {
+
+void rule(std::ostream& os) { os << std::string(72, '-') << "\n"; }
+
+}  // namespace
+
+void write_text(const RunReport& r, std::ostream& os, std::size_t top_n) {
+  const std::ios_base::fmtflags flags = os.flags();
+  os << "run report (schema v" << r.schema_version << "): " << r.program << "\n";
+  rule(os);
+  os << std::scientific << std::setprecision(4);
+  os << "  error rate      " << r.rate_mean << " +/- " << r.rate_sd << "\n";
+  os << "  lambda          " << r.lambda_mean << " +/- " << r.lambda_sd << "\n";
+  os << "  dk_lambda       " << r.dk_lambda << "   dk_count " << r.dk_count << "\n";
+  os << std::defaultfloat << std::setprecision(6);
+  os << "  period          " << r.period_ps << " ps   threads " << r.threads << "   runs "
+     << r.runs << "\n";
+  os << "  instructions    " << r.instructions << " simulated, " << r.total_instructions
+     << " per run (extrapolated), " << r.basic_blocks << " blocks\n";
+  os << "  runtime         train " << r.training_seconds << " s, sim " << r.simulation_seconds
+     << " s, est " << r.estimation_seconds << " s";
+  if (r.cache_hits + r.cache_misses > 0) {
+    os << "   (cache " << r.cache_hits << " hit / " << r.cache_misses << " miss)";
+  }
+  os << "\n";
+
+  os << "\nblocks by error mass (top " << std::min(top_n, r.blocks.size()) << " of "
+     << r.blocks.size() << ")\n";
+  rule(os);
+  os << "  block  execs        lambda       share   instrs\n";
+  for (std::size_t i = 0; i < std::min(top_n, r.blocks.size()); ++i) {
+    const BlockAttribution& b = r.blocks[i];
+    os << "  " << std::setw(5) << b.block << "  " << std::setw(10) << b.executions << "  "
+       << std::scientific << std::setprecision(3) << b.lambda_mean << "  " << std::defaultfloat
+       << std::setprecision(3) << std::setw(5) << 100.0 * b.share << "%  " << b.instrs.size()
+       << "\n";
+  }
+
+  os << "\nopcodes by error mass (top " << std::min(top_n, r.opcodes.size()) << " of "
+     << r.opcodes.size() << ")\n";
+  rule(os);
+  os << "  opcode     error mass    share   ctrl slack p50 (ps)\n";
+  for (std::size_t i = 0; i < std::min(top_n, r.opcodes.size()); ++i) {
+    const OpcodeAttribution& oc = r.opcodes[i];
+    os << "  " << std::setw(8) << std::left << oc.mnemonic << std::right << "  "
+       << std::scientific << std::setprecision(3) << oc.error_mass << "  " << std::defaultfloat
+       << std::setprecision(3) << std::setw(5) << 100.0 * oc.share << "%   ";
+    if (oc.ctrl_slack.count > 0) {
+      os << oc.ctrl_slack.p50;
+    } else {
+      os << "-";
+    }
+    os << "\n";
+  }
+
+  os << "\nstage control slack (candidate paths, ps)\n";
+  rule(os);
+  os << "  stage  endpoints  paths    min      p50      p95      max\n";
+  for (const StageSlack& st : r.stages) {
+    os << "  " << std::setw(5) << static_cast<int>(st.stage) << "  " << std::setw(9)
+       << st.endpoints << "  " << std::setw(5) << st.slack.count << "  " << std::fixed
+       << std::setprecision(1) << std::setw(7) << st.slack.min << "  " << std::setw(7)
+       << st.slack.p50 << "  " << std::setw(7) << st.slack.p95 << "  " << std::setw(7)
+       << st.slack.max << std::defaultfloat << std::setprecision(6) << "\n";
+  }
+
+  os << "\nculprit paths (tightest slack first)\n";
+  rule(os);
+  os << "  endpoint  stage  slack mean (ps)  slack sd  delay (ps)  gates\n";
+  for (std::size_t i = 0; i < std::min(top_n, r.culprits.size()); ++i) {
+    const CulpritPath& c = r.culprits[i];
+    os << "  " << std::setw(8) << c.endpoint << "  " << std::setw(5) << static_cast<int>(c.stage)
+       << "  " << std::fixed << std::setprecision(2) << std::setw(15) << c.slack_mean << "  "
+       << std::setw(8) << c.slack_sd << "  " << std::setw(10) << c.delay_ps
+       << std::defaultfloat << std::setprecision(6) << "  " << std::setw(5) << c.gates << "\n";
+  }
+
+  os << "\nsolver: " << r.solver.scc_count << " SCCs (" << r.solver.cyclic_sccs
+     << " cyclic, largest " << r.solver.max_scc_size << "), max residual " << std::scientific
+     << std::setprecision(3) << r.solver.max_residual << std::defaultfloat
+     << std::setprecision(6) << "\n";
+  if (r.mc.enabled) {
+    os << "monte-carlo: " << r.mc.trials << " trials, |MC - analytic| = " << std::scientific
+       << std::setprecision(3) << r.mc.divergence << " (dk_count bound " << r.dk_count << ")"
+       << std::defaultfloat << std::setprecision(6) << "\n";
+  }
+  os.flags(flags);
+}
+
+}  // namespace terrors::report

@@ -1,0 +1,15 @@
+// Human-readable rendering of a RunReport (`terrors report <file>`).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+
+#include "report/run_report.hpp"
+
+namespace terrors::report {
+
+/// Render the headline estimate plus top-`top_n` rows of each attribution
+/// table (blocks, opcodes, stages, culprit paths, solver, Monte-Carlo).
+void write_text(const RunReport& r, std::ostream& os, std::size_t top_n = 10);
+
+}  // namespace terrors::report

@@ -310,6 +310,109 @@ TEST(MetricsTest, EmptyHistogramExportsZeros) {
   EXPECT_EQ(os.str().find("inf"), std::string::npos);
 }
 
+TEST(MetricsTest, HistogramQuantilesExactBelowReservoirDepth) {
+  obs::Histogram h;
+  // 1..50 in scrambled order: fits entirely in the reservoir, so
+  // quantiles are exact nearest-rank values.
+  for (int i = 0; i < 50; ++i) h.observe(static_cast<double>((i * 37) % 50 + 1));
+  ASSERT_LE(static_cast<std::size_t>(50), obs::Histogram::kReservoirDepth);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 26.0);  // nearest rank: idx floor(.5*50)
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(h.stats().min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.stats().max(), 50.0);
+}
+
+TEST(MetricsTest, HistogramReservoirIsDeterministicPastDepth) {
+  // Two identical streams far beyond the reservoir depth must agree
+  // exactly: the systematic (stride-doubling) sampler uses no RNG.
+  obs::Histogram a;
+  obs::Histogram b;
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = static_cast<double>((i * 7919) % 10'000);
+    a.observe(v);
+    b.observe(v);
+  }
+  EXPECT_LE(a.reservoir().size(), obs::Histogram::kReservoirDepth);
+  EXPECT_EQ(a.reservoir(), b.reservoir());
+  for (const double p : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(a.quantile(p), b.quantile(p));
+    EXPECT_GE(a.quantile(p), 0.0);
+    EXPECT_LT(a.quantile(p), 10'000.0);
+  }
+  // Quantiles are monotone in p.
+  EXPECT_LE(a.quantile(0.5), a.quantile(0.95));
+  EXPECT_LE(a.quantile(0.95), a.quantile(0.99));
+  // Reset discards the reservoir along with the moments.
+  a.reset();
+  EXPECT_TRUE(a.reservoir().empty());
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), 0.0);
+}
+
+TEST(MetricsTest, JsonExportIncludesQuantiles) {
+  auto& reg = obs::MetricsRegistry::instance();
+  auto& h = reg.histogram("test.json_hist_quant");
+  h.reset();
+  for (int i = 1; i <= 10; ++i) h.observe(static_cast<double>(i));
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string text = os.str();
+  EXPECT_TRUE(JsonValidator(text).valid()) << text;
+  EXPECT_NE(text.find("\"p50\":6"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"p95\":10"), std::string::npos) << text;
+  EXPECT_NE(text.find("\"p99\":10"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusTest, EscapeLabelHandlesBackslashQuoteNewline) {
+  EXPECT_EQ(obs::prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(obs::prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::prometheus_escape_label("a\nb"), "a\\nb");
+  EXPECT_EQ(obs::prometheus_escape_label("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(PrometheusTest, SanitizeNamePrefixesAndMapsInvalidChars) {
+  EXPECT_EQ(obs::prometheus_sanitize_name("core.analyze_calls"),
+            "terrors_core_analyze_calls");
+  EXPECT_EQ(obs::prometheus_sanitize_name("a-b c"), "terrors_a_b_c");
+}
+
+TEST(PrometheusTest, ExpositionHasTypesValuesAndQuantileLabels) {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("test.prom_counter").reset();
+  reg.counter("test.prom_counter").increment(3);
+  reg.gauge("test.prom_gauge").set(2.5);
+  auto& h = reg.histogram("test.prom_hist");
+  h.reset();
+  for (int i = 1; i <= 4; ++i) h.observe(static_cast<double>(i));
+
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("# TYPE terrors_test_prom_counter counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("terrors_test_prom_counter 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE terrors_test_prom_gauge gauge"), std::string::npos) << text;
+  EXPECT_NE(text.find("terrors_test_prom_gauge 2.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE terrors_test_prom_hist summary"), std::string::npos) << text;
+  EXPECT_NE(text.find("terrors_test_prom_hist{quantile=\"0.5\"}"), std::string::npos) << text;
+  EXPECT_NE(text.find("terrors_test_prom_hist{quantile=\"0.95\"}"), std::string::npos) << text;
+  EXPECT_NE(text.find("terrors_test_prom_hist{quantile=\"0.99\"}"), std::string::npos) << text;
+  EXPECT_NE(text.find("terrors_test_prom_hist_count 4"), std::string::npos) << text;
+  EXPECT_NE(text.find("terrors_test_prom_hist_sum 10"), std::string::npos) << text;
+  // Every non-comment line is "name[{labels}] value" with a finite or
+  // Prometheus-style (NaN/+Inf/-Inf) value token.
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_EQ(line.rfind("terrors_", 0), 0u) << line;
+  }
+}
+
 // ---------------------------------------------------------------------------
 
 TEST(JsonHelpersTest, EscapesControlCharactersAndQuotes) {

@@ -1,0 +1,314 @@
+// The report subsystem's three contracts:
+//  1. Determinism (DESIGN §5e): attaching an AttributionCollector to
+//     analyze() is bit-invisible — estimate, marginals, and every metric
+//     outside report.*/pool.* are identical with and without it, at any
+//     thread count.
+//  2. Fidelity: the attribution decomposes the headline estimate — block
+//     lambda contributions sum to lambda.mean, shares sum to one, and the
+//     JSON schema round-trips byte-stably.
+//  3. Gating: diff_reports accepts an unchanged report and flags an
+//     injected regression (the CLI maps ok() onto its exit code).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "netlist/pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "report/attribution.hpp"
+#include "report/diff.hpp"
+#include "report/json_value.hpp"
+#include "report/render.hpp"
+#include "report/run_report.hpp"
+#include "support/thread_pool.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/specs.hpp"
+
+namespace terrors {
+namespace {
+
+const netlist::Pipeline& pipeline() {
+  static const netlist::Pipeline p = netlist::build_pipeline({});
+  return p;
+}
+
+core::FrameworkConfig small_config() {
+  core::FrameworkConfig cfg;
+  cfg.spec = timing::TimingSpec{1300.0};
+  cfg.executor.max_instructions = 8000;
+  cfg.error_model.mixed_samples = 32;
+  return cfg;
+}
+
+const workloads::WorkloadSpec& spec_named(const char* name) {
+  for (const auto& s : workloads::mibench_specs()) {
+    if (s.name == name) return s;
+  }
+  ADD_FAILURE() << "unknown benchmark " << name;
+  return workloads::mibench_specs()[0];
+}
+
+/// Metrics snapshot comparable across runs: every registered metric value
+/// except the report.* namespace (the collector's own), the pool.* gauges
+/// (process-cumulative, they track thread-pool resizes), and
+/// dta.dp_cache_collisions, which counts losses of concurrent DP-cache
+/// insert races and so varies between identical multi-threaded runs even
+/// with no observer attached.
+std::map<std::string, double> metrics_snapshot() {
+  std::ostringstream os;
+  obs::MetricsRegistry::instance().write_json(os);
+  const report::JsonValue doc = report::JsonValue::parse(os.str());
+  std::map<std::string, double> out;
+  const auto keep = [](const std::string& name) {
+    return name.rfind("report.", 0) != 0 && name.rfind("pool.", 0) != 0 &&
+           name != "dta.dp_cache_collisions";
+  };
+  for (const auto& [name, v] : doc.at("counters").members()) {
+    if (keep(name)) out["c:" + name] = v.as_number();
+  }
+  for (const auto& [name, v] : doc.at("gauges").members()) {
+    if (keep(name)) out["g:" + name] = v.as_number();
+  }
+  for (const auto& [name, v] : doc.at("histograms").members()) {
+    if (!keep(name)) continue;
+    for (const auto& [field, fv] : v.members()) out["h:" + name + "." + field] = fv.as_number();
+  }
+  return out;
+}
+
+struct ObservedRun {
+  core::BenchmarkResult result;
+  std::vector<core::BlockMarginals> marginals;
+  std::map<std::string, double> metrics;
+};
+
+ObservedRun analyze_once(const workloads::WorkloadSpec& spec, std::size_t threads,
+                         core::AnalysisObserver* observer) {
+  support::set_global_threads(threads);
+  obs::MetricsRegistry::instance().reset();
+  core::ErrorRateFramework fw(pipeline(), small_config());
+  ObservedRun run;
+  run.result =
+      fw.analyze(workloads::generate_program(spec), workloads::generate_inputs(spec, 2, 7),
+                 observer);
+  run.marginals = fw.last().marginals;
+  run.metrics = metrics_snapshot();
+  return run;
+}
+
+class ReportDeterminism : public ::testing::Test {
+ protected:
+  void TearDown() override { support::set_global_threads(1); }
+};
+
+TEST_F(ReportDeterminism, CollectorIsBitInvisibleAtOneAndFourThreads) {
+  const auto& spec = spec_named("pgp.encode");
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const ObservedRun plain = analyze_once(spec, threads, nullptr);
+    report::AttributionCollector collector;
+    const ObservedRun observed = analyze_once(spec, threads, &collector);
+
+    // Estimate: bitwise identical (EXPECT_EQ on doubles is ==).
+    EXPECT_EQ(plain.result.estimate.rate_mean(), observed.result.estimate.rate_mean());
+    EXPECT_EQ(plain.result.estimate.rate_sd(), observed.result.estimate.rate_sd());
+    EXPECT_EQ(plain.result.estimate.lambda.mean, observed.result.estimate.lambda.mean);
+    EXPECT_EQ(plain.result.estimate.lambda.sd, observed.result.estimate.lambda.sd);
+    EXPECT_EQ(plain.result.estimate.dk_lambda, observed.result.estimate.dk_lambda);
+    EXPECT_EQ(plain.result.estimate.dk_count, observed.result.estimate.dk_count);
+
+    // Marginals: bitwise identical.
+    ASSERT_EQ(plain.marginals.size(), observed.marginals.size());
+    for (std::size_t b = 0; b < plain.marginals.size(); ++b) {
+      EXPECT_EQ(plain.marginals[b].p_in.values(), observed.marginals[b].p_in.values());
+      ASSERT_EQ(plain.marginals[b].instr.size(), observed.marginals[b].instr.size());
+      for (std::size_t k = 0; k < plain.marginals[b].instr.size(); ++k)
+        EXPECT_EQ(plain.marginals[b].instr[k].values(), observed.marginals[b].instr[k].values());
+    }
+
+    // Metrics outside report.*/pool.*: identical values.
+    EXPECT_EQ(plain.metrics, observed.metrics);
+  }
+}
+
+class ReportFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    support::set_global_threads(1);
+    fw_ = std::make_unique<core::ErrorRateFramework>(pipeline(), small_config());
+    program_ = workloads::generate_program(spec_named("pgp.decode"));
+    result_ = fw_->analyze(program_, workloads::generate_inputs(spec_named("pgp.decode"), 2, 7),
+                           &collector_);
+    built_ = collector_.build(*fw_, program_, result_);
+  }
+
+  report::AttributionCollector collector_;
+  std::unique_ptr<core::ErrorRateFramework> fw_;
+  isa::Program program_{"empty"};
+  core::BenchmarkResult result_;
+  report::RunReport built_;
+};
+
+TEST_F(ReportFixture, BlockAttributionSumsToHeadlineLambda) {
+  ASSERT_FALSE(built_.blocks.empty());
+  double lambda_sum = 0.0;
+  double share_sum = 0.0;
+  for (const auto& b : built_.blocks) {
+    lambda_sum += b.lambda_mean;
+    share_sum += b.share;
+  }
+  EXPECT_NEAR(lambda_sum, built_.lambda_mean, 1e-9 * std::abs(built_.lambda_mean));
+  EXPECT_NEAR(share_sum, 1.0, 1e-9);
+
+  // Opcode error mass is the same decomposition grouped differently.
+  double opcode_sum = 0.0;
+  for (const auto& oc : built_.opcodes) opcode_sum += oc.error_mass;
+  EXPECT_NEAR(opcode_sum, built_.lambda_mean, 1e-9 * std::abs(built_.lambda_mean));
+}
+
+TEST_F(ReportFixture, AttributionTablesAreWellFormed) {
+  EXPECT_EQ(built_.schema_version, report::kSchemaVersion);
+  EXPECT_EQ(built_.program, "pgp.decode");
+  EXPECT_EQ(built_.basic_blocks, result_.basic_blocks);
+  EXPECT_EQ(built_.rate_mean, result_.estimate.rate_mean());
+
+  // Blocks are sorted heaviest-first and reference real CFG content.
+  for (std::size_t i = 1; i < built_.blocks.size(); ++i)
+    EXPECT_GE(built_.blocks[i - 1].lambda_mean, built_.blocks[i].lambda_mean);
+  for (const auto& b : built_.blocks) {
+    ASSERT_LT(b.block, program_.block_count());
+    EXPECT_EQ(b.instrs.size(), program_.block(b.block).instructions.size());
+    for (const auto& e : b.edges) EXPECT_LT(e.from_block, program_.block_count());
+  }
+
+  // One stage entry per pipeline stage; culprits sorted tightest-first.
+  EXPECT_EQ(built_.stages.size(), netlist::Pipeline::kStages);
+  ASSERT_FALSE(built_.culprits.empty());
+  EXPECT_LE(built_.culprits.size(), collector_.config().top_k_paths);
+  for (std::size_t i = 1; i < built_.culprits.size(); ++i)
+    EXPECT_LE(built_.culprits[i - 1].slack_mean, built_.culprits[i].slack_mean);
+
+  // The marginal solve visited at least one component.
+  EXPECT_GT(built_.solver.scc_count, 0u);
+  EXPECT_EQ(built_.mc.enabled, false);
+}
+
+TEST_F(ReportFixture, JsonRoundTripIsByteStable) {
+  std::ostringstream first;
+  built_.write_json(first);
+  const report::RunReport reread =
+      report::RunReport::from_json(report::JsonValue::parse(first.str()));
+  std::ostringstream second;
+  reread.write_json(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST_F(ReportFixture, FromJsonRejectsWrongKindAndVersion) {
+  EXPECT_THROW(report::RunReport::from_json(report::JsonValue::parse("{\"kind\":\"other\"}")),
+               std::runtime_error);
+  std::ostringstream os;
+  built_.write_json(os);
+  std::string doc = os.str();
+  const std::string needle = "\"schema_version\":1";
+  const std::size_t at = doc.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  doc.replace(at, needle.size(), "\"schema_version\":999");
+  EXPECT_THROW(report::RunReport::from_json(report::JsonValue::parse(doc)), std::runtime_error);
+}
+
+TEST_F(ReportFixture, RenderMentionsHeadlineAndTables) {
+  std::ostringstream os;
+  report::write_text(built_, os, 5);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("run report (schema v1): pgp.decode"), std::string::npos);
+  EXPECT_NE(text.find("blocks by error mass"), std::string::npos);
+  EXPECT_NE(text.find("culprit paths"), std::string::npos);
+  EXPECT_NE(text.find("solver:"), std::string::npos);
+}
+
+TEST_F(ReportFixture, DiffAcceptsUnchangedAndFlagsInjectedRegression) {
+  const report::DiffResult same = report::diff_reports(built_, built_, {});
+  EXPECT_TRUE(same.ok());
+  EXPECT_EQ(same.regressions(), 0u);
+
+  report::RunReport worse = built_;
+  worse.rate_mean *= 1.10;  // 10% accuracy regression vs 1% tolerance
+  const report::DiffResult bad = report::diff_reports(built_, worse, {});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_GE(bad.regressions(), 1u);
+  // Violations sort first and are labelled.
+  ASSERT_FALSE(bad.entries.empty());
+  EXPECT_TRUE(bad.entries.front().regression);
+
+  // Structural mismatch is an error, not a diff row.
+  report::RunReport other = built_;
+  other.program = "different";
+  EXPECT_THROW(report::diff_reports(built_, other, {}), std::runtime_error);
+
+  // The runtime gate only participates when enabled.
+  report::RunReport slow = built_;
+  slow.training_seconds = built_.training_seconds * 10.0 + 1.0;
+  EXPECT_TRUE(report::diff_reports(built_, slow, {}).ok());
+  report::DiffOptions gated;
+  gated.max_runtime_ratio = 1.5;
+  EXPECT_FALSE(report::diff_reports(built_, slow, gated).ok());
+
+  std::ostringstream os;
+  report::write_diff(bad, os);
+  EXPECT_NE(os.str().find("REGRESSION"), std::string::npos);
+  EXPECT_NE(os.str().find("FAIL"), std::string::npos);
+}
+
+TEST(ReportMonteCarlo, DivergenceDiagnosticIsPopulated) {
+  support::set_global_threads(1);
+  auto cfg = small_config();
+  cfg.executor.record_block_trace = true;
+  core::ErrorRateFramework fw(pipeline(), cfg);
+  const auto& spec = spec_named("pgp.encode");
+  const isa::Program program = workloads::generate_program(spec);
+  report::CollectorConfig ccfg;
+  ccfg.mc_trials = 200;
+  report::AttributionCollector collector(ccfg);
+  const auto r = fw.analyze(program, workloads::generate_inputs(spec, 2, 7), &collector);
+  const report::RunReport rep = collector.build(fw, program, r);
+  EXPECT_TRUE(rep.mc.enabled);
+  EXPECT_EQ(rep.mc.trials, 200u);
+  EXPECT_GE(rep.mc.divergence, 0.0);
+  EXPECT_LE(rep.mc.divergence, 1.0);
+}
+
+TEST(TraceExport, FourThreadAnalyzeEmitsParsableEventsWithTids) {
+  obs::Tracer::instance().reset();
+  obs::Tracer::instance().set_enabled(true);
+  support::set_global_threads(4);
+  {
+    core::ErrorRateFramework fw(pipeline(), small_config());
+    const auto& spec = spec_named("pgp.decode");
+    (void)fw.analyze(workloads::generate_program(spec),
+                     workloads::generate_inputs(spec, 2, 7));
+  }
+  support::set_global_threads(1);
+  obs::Tracer::instance().set_enabled(false);
+  std::ostringstream os;
+  obs::Tracer::instance().write_chrome_trace(os);
+
+  const report::JsonValue doc = report::JsonValue::parse(os.str());
+  const auto& events = doc.at("traceEvents").items();
+  ASSERT_FALSE(events.empty());
+  for (const auto& e : events) {
+    ASSERT_TRUE(e.is_object());
+    const report::JsonValue* tid = e.find("tid");
+    ASSERT_NE(tid, nullptr);
+    EXPECT_TRUE(tid->is_number());
+  }
+  obs::Tracer::instance().reset();
+}
+
+}  // namespace
+}  // namespace terrors

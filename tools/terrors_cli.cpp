@@ -4,8 +4,11 @@
 //   terrors list                         available benchmarks
 //   terrors program <name>               generated program listing
 //   terrors report [--period P] [--n N]  signoff-style timing report
+//   terrors report <file> [--top N]      render a run-report JSON file
+//   terrors diff <old> <new>             regression gate over two run reports
 //   terrors analyze <name> [--period P] [--scale S] [--runs R] [--threads T]
-//                   [--trace F] [--trace-tree] [--metrics F] [--log-level L]
+//                   [--trace F] [--trace-tree] [--metrics F] [--metrics-prom F]
+//                   [--report F] [--report-mc N] [--log-level L]
 //                   [--cache-dir D]      full error-rate analysis row
 //   terrors vcd <name> [--cycles N]      VCD dump of a benchmark window
 #include <cstdio>
@@ -23,6 +26,10 @@
 #include "dta/pipeline_driver.hpp"
 #include "netlist/pipeline.hpp"
 #include "perf/ts_model.hpp"
+#include "report/attribution.hpp"
+#include "report/diff.hpp"
+#include "report/render.hpp"
+#include "report/run_report.hpp"
 #include "sim/vcd.hpp"
 #include "support/thread_pool.hpp"
 #include "timing/report.hpp"
@@ -137,6 +144,21 @@ int cmd_program(const char* name) {
 }
 
 int cmd_report(int argc, char** argv) {
+  // With a positional file argument this renders a run-report JSON file;
+  // flags only keep the original signoff-style timing report.
+  if (argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
+    std::map<std::string, std::string> flags;
+    if (!parse_flags(argc, argv, 3, {{"--top", true}}, flags)) return 1;
+    const auto top = static_cast<std::size_t>(num_flag(flags, "--top", 10));
+    try {
+      const report::RunReport r = report::RunReport::load(argv[2]);
+      report::write_text(r, std::cout, top);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    return 0;
+  }
   std::map<std::string, std::string> flags;
   if (!parse_flags(argc, argv, 2, {{"--period", true}, {"--n", true}}, flags)) return 1;
   const double period = num_flag(flags, "--period", 1300.0);
@@ -149,6 +171,35 @@ int cmd_report(int argc, char** argv) {
   timing::write_timing_report(std::cout, pipe().netlist, timing::TimingSpec{period}, paths, &vm,
                               cfg);
   return 0;
+}
+
+int cmd_diff(int argc, char** argv) {
+  if (argc < 4 || std::strncmp(argv[2], "--", 2) == 0 || std::strncmp(argv[3], "--", 2) == 0) {
+    std::fprintf(stderr, "usage: terrors diff <old.json> <new.json> [--max-rel-delta D]\n"
+                         "                    [--max-share-drift D] [--max-runtime-ratio R]\n");
+    return 1;
+  }
+  std::map<std::string, std::string> flags;
+  if (!parse_flags(argc, argv, 4,
+                   {{"--max-rel-delta", true},
+                    {"--max-share-drift", true},
+                    {"--max-runtime-ratio", true}},
+                   flags))
+    return 1;
+  report::DiffOptions opt;
+  opt.max_rel_delta = num_flag(flags, "--max-rel-delta", opt.max_rel_delta);
+  opt.max_share_drift = num_flag(flags, "--max-share-drift", opt.max_share_drift);
+  opt.max_runtime_ratio = num_flag(flags, "--max-runtime-ratio", opt.max_runtime_ratio);
+  try {
+    const report::RunReport before = report::RunReport::load(argv[2]);
+    const report::RunReport after = report::RunReport::load(argv[3]);
+    const report::DiffResult result = report::diff_reports(before, after, opt);
+    report::write_diff(result, std::cout);
+    return result.ok() ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
 }
 
 int cmd_analyze(int argc, char** argv, const char* name) {
@@ -166,6 +217,9 @@ int cmd_analyze(int argc, char** argv, const char* name) {
                     {"--trace", true},
                     {"--trace-tree", false},
                     {"--metrics", true},
+                    {"--metrics-prom", true},
+                    {"--report", true},
+                    {"--report-mc", true},
                     {"--log-level", true},
                     {"--cache-dir", true}},
                    flags))
@@ -191,10 +245,21 @@ int cmd_analyze(int argc, char** argv, const char* name) {
   cfg.spec = timing::TimingSpec{period};
   cfg.execution_scale = 1.0 / scale;
   if (const auto it = flags.find("--cache-dir"); it != flags.end()) cfg.cache_dir = it->second;
+  const bool want_report = flags.count("--report") != 0;
+  const auto mc_trials = static_cast<std::size_t>(num_flag(flags, "--report-mc", 0));
   core::ErrorRateFramework framework(pipe(), cfg);
-  framework.set_executor_config(workloads::executor_config_for(*spec, runs, scale));
-  const auto r = framework.analyze(workloads::generate_program(*spec),
-                                   workloads::generate_inputs(*spec, runs, 2026));
+  isa::ExecutorConfig ecfg = workloads::executor_config_for(*spec, runs, scale);
+  // The MC cross-check replays the dynamic block sequence; recording it
+  // does not perturb the sampling RNG or the profile statistics.
+  if (want_report && mc_trials > 0) ecfg.record_block_trace = true;
+  framework.set_executor_config(ecfg);
+  report::CollectorConfig ccfg;
+  ccfg.mc_trials = mc_trials;
+  ccfg.threads = support::global_pool().size();
+  report::AttributionCollector collector(ccfg);
+  const isa::Program program = workloads::generate_program(*spec);
+  const auto r = framework.analyze(program, workloads::generate_inputs(*spec, runs, 2026),
+                                   want_report ? &collector : nullptr);
   const perf::TsProcessorModel ts;
   std::printf("%s @ %.1f MHz (scale %.0e, %zu runs)\n", spec->name.c_str(),
               cfg.spec.frequency_mhz(), scale, runs);
@@ -222,6 +287,16 @@ int cmd_analyze(int argc, char** argv, const char* name) {
     obs::Tracer::instance().write_chrome_trace(out);
   }
   if (flags.count("--trace-tree") != 0) obs::Tracer::instance().write_text_tree(std::cerr);
+  if (want_report) {
+    const std::string& path = flags.at("--report");
+    try {
+      const report::RunReport run_report = collector.build(framework, program, r);
+      run_report.save(path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot write report '%s': %s\n", path.c_str(), e.what());
+      return 1;
+    }
+  }
   if (const auto it = flags.find("--metrics"); it != flags.end()) {
     std::ofstream out(it->second);
     if (!out) {
@@ -229,6 +304,14 @@ int cmd_analyze(int argc, char** argv, const char* name) {
       return 1;
     }
     obs::MetricsRegistry::instance().write_json(out);
+  }
+  if (const auto it = flags.find("--metrics-prom"); it != flags.end()) {
+    std::ofstream out(it->second);
+    if (!out) {
+      std::fprintf(stderr, "cannot open metrics file '%s'\n", it->second.c_str());
+      return 1;
+    }
+    obs::MetricsRegistry::instance().write_prometheus(out);
   }
   return 0;
 }
@@ -298,6 +381,9 @@ int cmd_vcd(int argc, char** argv, const char* name) {
   return 0;
 }
 
+constexpr const char* kCommands[] = {"info", "list", "program", "report", "diff", "analyze",
+                                     "vcd"};
+
 void usage() {
   std::fputs(
       "usage: terrors <command> [options]\n"
@@ -305,11 +391,19 @@ void usage() {
       "  list                          available benchmarks\n"
       "  program <name>                print the generated program\n"
       "  report [--period P] [--n N]   signoff-style timing report\n"
+      "  report <file> [--top N]       render a run-report JSON file\n"
+      "  diff <old> <new>              compare two run reports; exit 2 on regression\n"
+      "       [--max-rel-delta D]      headline accuracy tolerance (default 0.01)\n"
+      "       [--max-share-drift D]    per-block error-mass drift (default 0.05)\n"
+      "       [--max-runtime-ratio R]  runtime gate, <=0 disables (default off)\n"
       "  analyze <name> [--period P] [--scale S] [--runs R]\n"
       "          [--threads T]         worker threads (0 = all cores; or TERRORS_THREADS)\n"
       "          [--trace FILE]        write a Chrome trace_event JSON phase tree\n"
       "          [--trace-tree]        print the phase tree to stderr\n"
       "          [--metrics FILE]      write the metrics registry as JSON\n"
+      "          [--metrics-prom FILE] write the metrics in Prometheus text format\n"
+      "          [--report FILE]       write the error-attribution run report (JSON)\n"
+      "          [--report-mc N]       add an N-trial Monte-Carlo cross-check\n"
       "          [--log-level LVL]     error|warn|info|debug|trace (default off)\n"
       "          [--cache-dir DIR]     content-addressed artifact cache (or\n"
       "                                TERRORS_CACHE_DIR; off by default)\n"
@@ -329,9 +423,20 @@ int main(int argc, char** argv) {
   if (cmd == "info") return cmd_info();
   if (cmd == "list") return cmd_list();
   if (cmd == "report") return cmd_report(argc, argv);
+  if (cmd == "diff") return cmd_diff(argc, argv);
   if (cmd == "program" && argc >= 3) return cmd_program(argv[2]);
   if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc, argv, argv[2]);
   if (cmd == "vcd" && argc >= 3) return cmd_vcd(argc, argv, argv[2]);
+  bool known = false;
+  for (const char* c : kCommands) known = known || cmd == c;
+  if (!known) {
+    std::string all;
+    for (const char* c : kCommands) {
+      if (!all.empty()) all += ", ";
+      all += c;
+    }
+    std::fprintf(stderr, "unknown command '%s' (available: %s)\n", cmd.c_str(), all.c_str());
+  }
   usage();
   return 1;
 }
