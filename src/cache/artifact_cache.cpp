@@ -16,6 +16,8 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "robust/degrade.hpp"
+#include "robust/fault_injection.hpp"
 #include "support/check.hpp"
 
 namespace terrors::cache {
@@ -44,6 +46,9 @@ struct CacheMetrics {
   obs::Counter& corrupt = obs::MetricsRegistry::instance().counter("cache.corrupt");
   obs::Counter& bytes_written = obs::MetricsRegistry::instance().counter("cache.bytes_written");
   obs::Counter& bytes_read = obs::MetricsRegistry::instance().counter("cache.bytes_read");
+  /// Failed stores (write, publish-rename, or temp cleanup): the artifact
+  /// is simply not persisted, but a silently cold cache must be visible.
+  obs::Counter& store_errors = obs::MetricsRegistry::instance().counter("cache.store_errors");
   obs::Histogram& load_seconds = obs::MetricsRegistry::instance().histogram("cache.load_seconds");
   obs::Histogram& store_seconds =
       obs::MetricsRegistry::instance().histogram("cache.store_seconds");
@@ -71,6 +76,7 @@ std::string ArtifactCache::path_for(std::string_view kind, std::uint64_t key) co
 
 std::optional<std::vector<std::uint8_t>> ArtifactCache::load(std::string_view kind,
                                                              std::uint64_t key) const {
+  robust::maybe_fault("cache.read");
   CacheMetrics& m = CacheMetrics::instance();
   obs::ScopedSpan span("cache.load");
   const auto t0 = std::chrono::steady_clock::now();
@@ -119,6 +125,7 @@ std::optional<std::vector<std::uint8_t>> ArtifactCache::load(std::string_view ki
 
 void ArtifactCache::store(std::string_view kind, std::uint64_t key,
                           const std::vector<std::uint8_t>& payload) const {
+  robust::maybe_fault("cache.write");
   CacheMetrics& m = CacheMetrics::instance();
   obs::ScopedSpan span("cache.store");
   const auto t0 = std::chrono::steady_clock::now();
@@ -148,19 +155,31 @@ void ArtifactCache::store(std::string_view kind, std::uint64_t key,
                 static_cast<std::streamsize>(trailer.bytes().size()));
     }
     if (!out) {
-      obs::log_warn("cache", "cannot write artifact",
-                    {{"kind", std::string(kind)}, {"path", temp}});
+      m.store_errors.increment();
+      obs::log_warn_once("cache.store_errors.write", "cache", "cannot write artifact",
+                         {{"kind", std::string(kind)}, {"path", temp}});
+      robust::note_degraded("cache", "cannot write artifact temp file " + temp +
+                                         "; cache stays cold for this key");
       std::error_code ec;
       std::filesystem::remove(temp, ec);
+      if (ec) m.store_errors.increment();
       return;
     }
   }
   std::error_code ec;
   std::filesystem::rename(temp, path, ec);
   if (ec) {
-    obs::log_warn("cache", "cannot publish artifact",
-                  {{"kind", std::string(kind)}, {"path", path}, {"error", ec.message()}});
-    std::filesystem::remove(temp, ec);
+    m.store_errors.increment();
+    obs::log_warn_once("cache.store_errors.rename", "cache", "cannot publish artifact",
+                       {{"kind", std::string(kind)}, {"path", path}, {"error", ec.message()}});
+    robust::note_degraded("cache", "cannot publish artifact " + path + ": " + ec.message());
+    std::error_code rm_ec;
+    std::filesystem::remove(temp, rm_ec);
+    if (rm_ec) {
+      m.store_errors.increment();
+      obs::log_warn("cache", "cannot remove temp file",
+                    {{"path", temp}, {"error", rm_ec.message()}});
+    }
     return;
   }
   const std::uint64_t total = kHeaderBytes + payload.size() + kTrailerBytes;

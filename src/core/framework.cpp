@@ -1,12 +1,15 @@
 #include "core/framework.hpp"
 
 #include <chrono>
+#include <optional>
 
 #include "cache/key.hpp"
 #include "cache/serialize.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "robust/degrade.hpp"
+#include "robust/hooks.hpp"
 #include "support/check.hpp"
 #include "support/thread_pool.hpp"
 
@@ -19,6 +22,31 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 std::uint64_t counter_value(const char* name) {
   return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+// Degradation policy (DESIGN §5f): the cache is an accelerator, never a
+// dependency.  A throwing load is a miss (recompute), a throwing store
+// loses only warm-start time; both are recorded, neither fails analyze().
+std::optional<std::vector<std::uint8_t>> safe_cache_load(const cache::ArtifactCache& c,
+                                                         std::string_view kind,
+                                                         std::uint64_t key) {
+  try {
+    return c.load(kind, key);
+  } catch (const std::exception& e) {
+    robust::note_degraded("cache",
+                          std::string(kind) + " load failed, recomputing: " + e.what());
+    return std::nullopt;
+  }
+}
+
+void safe_cache_store(const cache::ArtifactCache& c, std::string_view kind, std::uint64_t key,
+                      const std::vector<std::uint8_t>& payload) {
+  try {
+    c.store(kind, key, payload);
+  } catch (const std::exception& e) {
+    robust::note_degraded(
+        "cache", std::string(kind) + " store failed, artifact not persisted: " + e.what());
+  }
 }
 }  // namespace
 
@@ -40,7 +68,7 @@ ErrorRateFramework::ErrorRateFramework(const netlist::Pipeline& pipeline, Framew
   if (cache_) {
     const std::uint64_t key =
         cache::combine({cache::kModelVersion, netlist_hash_, variation_hash_, dts_hash_});
-    if (auto bytes = cache_->load("datapath", key)) {
+    if (auto bytes = safe_cache_load(*cache_, "datapath", key)) {
       cache::ByteReader r(*bytes);
       if (auto params = cache::decode_datapath(r)) {
         datapath_ = std::make_unique<dta::DatapathModel>(
@@ -52,7 +80,7 @@ ErrorRateFramework::ErrorRateFramework(const netlist::Pipeline& pipeline, Framew
           dta::DatapathModel::train(pipeline_, vm_, config_.dts));
       cache::ByteWriter w;
       cache::encode_datapath(datapath_->params(), w);
-      cache_->store("datapath", key, w.bytes());
+      safe_cache_store(*cache_, "datapath", key, w.bytes());
     }
   } else {
     datapath_ = std::make_unique<dta::DatapathModel>(
@@ -81,6 +109,11 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
   static obs::Counter& instr_metric =
       obs::MetricsRegistry::instance().counter("core.instructions_simulated");
   analyze_calls.increment();
+
+  // Per-run degradation bookkeeping starts clean, and the pool's fault /
+  // retry hooks are wired before any parallel region can run.
+  robust::DegradationLog::instance().begin_run();
+  robust::install_pool_hooks();
 
   obs::ScopedSpan span("analyze");
   span.counter("inputs", static_cast<double>(inputs.size()));
@@ -129,7 +162,7 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
           {cache::kModelVersion, netlist_hash_, variation_hash_, dts_hash_, charcfg_hash_,
            cache::hash_spec(config_.spec), cache::hash_program(program),
            cache::hash_profile(last_.executor->profile())});
-      if (auto bytes = cache_->load("control", control_key)) {
+      if (auto bytes = safe_cache_load(*cache_, "control", control_key)) {
         cache::ByteReader r(*bytes);
         if (auto control = cache::decode_control(r, config_.spec)) {
           last_.control = std::move(*control);
@@ -149,7 +182,7 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
             {cache::kModelVersion, netlist_hash_, cache::hash_path_config(paths.config()),
              static_cast<std::uint64_t>(config_.dts.top_k)});
         bool paths_loaded = false;
-        if (auto bytes = cache_->load("paths", paths_key)) {
+        if (auto bytes = safe_cache_load(*cache_, "paths", paths_key)) {
           cache::ByteReader r(*bytes);
           if (auto warmed = cache::decode_paths(r)) {
             try {
@@ -165,7 +198,7 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
         if (!paths_loaded) {
           cache::ByteWriter w;
           cache::encode_paths(paths.export_warmed(), w);
-          cache_->store("paths", paths_key, w.bytes());
+          safe_cache_store(*cache_, "paths", paths_key, w.bytes());
         }
       }
       last_.control =
@@ -173,7 +206,7 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
       if (cache_) {
         cache::ByteWriter w;
         cache::encode_control(last_.control, config_.spec, w);
-        cache_->store("control", control_key, w.bytes());
+        safe_cache_store(*cache_, "control", control_key, w.bytes());
       }
     }
     result.training_seconds = seconds_since(t0);
@@ -221,9 +254,19 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
     registry.gauge("pool.threads").set(static_cast<double>(pool.size()));
     registry.gauge("pool.tasks").set(static_cast<double>(stats.tasks));
     registry.gauge("pool.steal_or_wait").set(static_cast<double>(stats.steal_or_wait));
+    // Registered lazily: a run with no serial retries keeps its metrics
+    // file byte-identical to builds without the robustness layer.
+    if (stats.retries > 0) registry.gauge("pool.retries").set(static_cast<double>(stats.retries));
   }
   result.cache_hits = counter_value("cache.hits") - hits_before;
   result.cache_misses = counter_value("cache.misses") - misses_before;
+  const auto& degradation = robust::DegradationLog::instance();
+  result.degraded = degradation.degraded();
+  result.degraded_sites = degradation.sites();
+  if (result.degraded) {
+    obs::log_warn("core", "analysis degraded",
+                  {{"sites", static_cast<std::uint64_t>(result.degraded_sites.size())}});
+  }
   return result;
 }
 

@@ -64,6 +64,12 @@ struct BenchmarkResult {
   /// (0/0 when the artifact cache is disabled).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// True when any graceful-degradation policy fired during this run
+  /// (DESIGN §5f): the estimate is still best-effort valid, but a cache
+  /// read/write, SCC solve, or worker task needed a fallback.
+  bool degraded = false;
+  /// Sorted unique degradation site tags ("cache", "solver", "pool", "io").
+  std::vector<std::string> degraded_sites;
   ErrorRateEstimate estimate;
 };
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "robust/degrade.hpp"
+#include "robust/fault_injection.hpp"
 #include "support/check.hpp"
 
 namespace terrors::core {
@@ -54,6 +57,106 @@ std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b) {
   return x;
 }
 
+namespace {
+
+double max_residual_of(const std::vector<double>& a, const std::vector<double>& b,
+                       const std::vector<double>& x) {
+  const std::size_t n = b.size();
+  double r = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double ax = 0.0;
+    for (std::size_t c = 0; c < n; ++c) ax += a[i * n + c] * x[c];
+    r = std::max(r, std::fabs(ax - b[i]));
+  }
+  return r;
+}
+
+bool all_finite(const std::vector<double>& x) {
+  for (const double v : x) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RobustSolveResult solve_scc_robust(const std::vector<double>& a, const std::vector<double>& b,
+                                   std::optional<std::uint64_t> fault_key) {
+  const std::size_t n = b.size();
+  // Acceptance threshold, relative to the right-hand side's scale.
+  // Healthy probability systems land near 1e-16, so the direct result is
+  // accepted bit-identically; only genuinely sick solves go further.
+  double b_scale = 1.0;
+  for (const double v : b) b_scale = std::max(b_scale, std::fabs(v));
+  const double accept = 1e-8 * b_scale;
+
+  RobustSolveResult out;
+  bool solved = false;
+  try {
+    if (fault_key.has_value()) robust::maybe_fault("solver.pivot", *fault_key);
+    out.x = solve_dense(a, b);
+    solved = all_finite(out.x);
+    if (solved) {
+      out.residual = max_residual_of(a, b, out.x);
+      if (out.residual > accept) {
+        // One step of iterative refinement: solve A dx = b - A x.
+        // Registered lazily: a healthy run's metrics stay exactly as before.
+        obs::MetricsRegistry::instance().counter("solver.refinements").increment();
+        out.degraded = true;
+        std::vector<double> r(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          double ax = 0.0;
+          for (std::size_t c = 0; c < n; ++c) ax += a[i * n + c] * out.x[c];
+          r[i] = b[i] - ax;
+        }
+        const std::vector<double> dx = solve_dense(a, r);
+        std::vector<double> refined = out.x;
+        for (std::size_t i = 0; i < n; ++i) refined[i] += dx[i];
+        if (all_finite(refined)) {
+          const double res = max_residual_of(a, b, refined);
+          if (res < out.residual) {
+            out.x = std::move(refined);
+            out.residual = res;
+          }
+        }
+        solved = out.residual <= accept;
+      }
+    }
+  } catch (const std::exception&) {
+    solved = false;  // singular (or injected) — fall through to fixed point
+  }
+  if (solved) return out;
+
+  // Bounded fixed-point fallback.  The marginal systems have the form
+  // x = C x + r with C = I - A the weighted predecessor mixing (row sums
+  // of |C| <= 1 for probability weights), so the iteration contracts;
+  // clamping to [0,1] keeps every iterate a probability even when the
+  // inputs are degenerate, and the iteration cap bounds the work.
+  obs::MetricsRegistry::instance().counter("solver.fixed_point_fallbacks").increment();
+  out.degraded = true;
+  std::vector<double> x(n, 0.0);
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < 256; ++iter) {
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = b[i];
+      for (std::size_t c = 0; c < n; ++c) {
+        const double cij = (i == c ? 1.0 : 0.0) - a[i * n + c];
+        if (cij != 0.0) v += cij * x[c];
+      }
+      if (!std::isfinite(v)) v = 0.0;
+      v = std::clamp(v, 0.0, 1.0);
+      delta = std::max(delta, std::fabs(v - x[i]));
+      next[i] = v;
+    }
+    x.swap(next);
+    if (delta < 1e-12) break;
+  }
+  out.x = std::move(x);
+  out.residual = max_residual_of(a, b, out.x);
+  return out;
+}
+
 MarginalSolver::MarginalSolver(const isa::Program& program, const isa::Cfg& cfg,
                                const isa::ProgramProfile& profile)
     : program_(program), cfg_(cfg), profile_(profile) {
@@ -97,6 +200,9 @@ std::vector<BlockMarginals> MarginalSolver::solve(
     scc_residual.assign(cfg_.scc_count(), 0.0);
     scc_touched.assign(cfg_.scc_count(), 0);
   }
+  // Degradation flags are tracked observer or not: the DegradationLog and
+  // run report need them even on plain CLI runs.
+  std::vector<std::uint8_t> scc_degraded(cfg_.scc_count(), 0);
   for (std::size_t s = 0; s < m; ++s) {
     // Affine fold of Eq. (1): p_out = alpha + beta * p_in.
     for (BlockId b = 0; b < nb; ++b) {
@@ -181,22 +287,21 @@ std::vector<BlockMarginals> MarginalSolver::solve(
         }
         rhs[i] = r;
       }
-      std::vector<double> x;
-      if (observer != nullptr) {
-        // Keep the pre-solve system: solve_dense factors in place, and the
-        // residual must be measured against the original A and b.
-        x = solve_dense(mat, rhs);
-        double r = 0.0;
-        for (std::size_t i = 0; i < n; ++i) {
-          double ax = 0.0;
-          for (std::size_t c = 0; c < n; ++c) ax += mat[i * n + c] * x[c];
-          r = std::max(r, std::fabs(ax - rhs[i]));
-        }
-        scc_residual[scc] = std::max(scc_residual[scc], r);
-      } else {
-        x = solve_dense(std::move(mat), std::move(rhs));
+      // Degradation-aware solve (DESIGN §5f): bit-identical to solve_dense
+      // on healthy systems, iterative refinement / bounded fixed-point on
+      // singular or ill-conditioned ones.  The solver.pivot injection site
+      // is keyed by SCC id so fault decisions are thread-count independent.
+      const RobustSolveResult solved =
+          solve_scc_robust(mat, rhs, static_cast<std::uint64_t>(scc));
+      if (solved.degraded && !scc_degraded[scc]) {
+        scc_degraded[scc] = 1;
+        robust::note_degraded(
+            "solver", "scc " + std::to_string(scc) +
+                          " direct solve rejected; served refinement/fixed-point result");
       }
-      for (std::size_t i = 0; i < n; ++i) p_in[members[i]] = x[i];
+      if (observer != nullptr)
+        scc_residual[scc] = std::max(scc_residual[scc], solved.residual);
+      for (std::size_t i = 0; i < n; ++i) p_in[members[i]] = solved.x[i];
     }
 
     // Recover per-instruction marginals via the recurrence.
@@ -221,6 +326,7 @@ std::vector<BlockMarginals> MarginalSolver::solve(
       diag.size = cfg_.scc_members(scc).size();
       diag.cyclic = cfg_.scc_is_cyclic(scc);
       diag.max_residual = scc_residual[scc];
+      diag.degraded = scc_degraded[scc] != 0;
       observer->on_scc_solve(diag);
     }
   }

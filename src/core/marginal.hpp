@@ -15,6 +15,8 @@
 // index (each index is one common-random-numbers "world").
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/error_model.hpp"
@@ -53,5 +55,28 @@ class MarginalSolver {
 /// Solve A x = b by Gaussian elimination with partial pivoting (A is
 /// n*n row-major, overwritten).  Exposed for tests.
 std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b);
+
+/// Outcome of the degradation-aware SCC solve (DESIGN §5f).
+struct RobustSolveResult {
+  std::vector<double> x;
+  /// True when the direct solve was singular / non-finite /
+  /// ill-conditioned and refinement or the fixed-point fallback ran.
+  bool degraded = false;
+  /// max_i |A x - b| of the returned solution.
+  double residual = 0.0;
+};
+
+/// Degradation-aware wrapper around solve_dense for the marginal SCC
+/// systems x = C x + r (spectral radius of C < 1 for probability
+/// systems):
+///   1. direct solve; accept when finite with a small residual —
+///      bit-identical to solve_dense on healthy systems;
+///   2. one step of iterative refinement on an ill-conditioned solve;
+///   3. a bounded ([0,1]-clamped, <=256 iteration) fixed-point fallback
+///      when the system is singular or refinement did not converge.
+/// `fault_key` (the SCC id) arms the `solver.pivot` injection site ahead
+/// of the direct solve.  Exposed for `terrors doctor` and tests.
+RobustSolveResult solve_scc_robust(const std::vector<double>& a, const std::vector<double>& b,
+                                   std::optional<std::uint64_t> fault_key = std::nullopt);
 
 }  // namespace terrors::core

@@ -28,6 +28,10 @@ struct SccSolveDiag {
   /// max_s max_i |A x - b| over the component's per-sample solves
   /// (0 for acyclic components, which are solved by substitution).
   double max_residual = 0.0;
+  /// True when at least one sample world needed the degradation path
+  /// (iterative refinement or the bounded fixed-point fallback) because
+  /// the direct solve was singular, non-finite, or ill-conditioned.
+  bool degraded = false;
 };
 
 class AnalysisObserver {

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "robust/error.hpp"
 #include "support/check.hpp"
 
 namespace terrors::isa {
@@ -18,7 +19,7 @@ struct PendingBranch {
 };
 
 [[noreturn]] void fail(int line, const std::string& msg) {
-  throw std::invalid_argument("asm line " + std::to_string(line) + ": " + msg);
+  robust::raise(robust::Category::kInput, "asm line " + std::to_string(line) + ": " + msg);
 }
 
 std::string strip(std::string s) {

@@ -1,5 +1,7 @@
 #include "obs/log.hpp"
 
+#include <set>
+
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -117,6 +119,18 @@ void log_info(std::string_view comp, std::string_view msg,
 void log_debug(std::string_view comp, std::string_view msg,
                std::initializer_list<LogField> fields) {
   Logger::instance().log(LogLevel::kDebug, comp, msg, fields);
+}
+
+bool log_warn_once(std::string_view once_key, std::string_view comp, std::string_view msg,
+                   std::initializer_list<LogField> fields) {
+  static std::mutex mutex;
+  static std::set<std::string, std::less<>> seen;
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!seen.emplace(once_key).second) return false;
+  }
+  Logger::instance().log(LogLevel::kWarn, comp, msg, fields);
+  return true;
 }
 
 }  // namespace terrors::obs

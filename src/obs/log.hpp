@@ -88,4 +88,11 @@ void log_info(std::string_view comp, std::string_view msg,
 void log_debug(std::string_view comp, std::string_view msg,
                std::initializer_list<LogField> fields = {});
 
+/// log_warn that fires only the first time `once_key` is seen in this
+/// process: repeated failures (e.g. every store against a read-only cache
+/// dir, or a prob=1 chaos plan) produce one line instead of thousands.
+/// Returns true when the line was emitted.
+bool log_warn_once(std::string_view once_key, std::string_view comp, std::string_view msg,
+                   std::initializer_list<LogField> fields = {});
+
 }  // namespace terrors::obs

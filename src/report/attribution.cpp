@@ -206,9 +206,13 @@ RunReport AttributionCollector::build(core::ErrorRateFramework& fw, const isa::P
     r.solver.max_residual = std::max(r.solver.max_residual, d.max_residual);
     if (d.cyclic) {
       ++r.solver.cyclic_sccs;
-      r.solver.sccs.push_back(SccDiag{d.scc, d.size, d.cyclic, d.max_residual});
+      r.solver.sccs.push_back(SccDiag{d.scc, d.size, d.cyclic, d.max_residual, d.degraded});
     }
   }
+
+  // --- degradation stamp (DESIGN §5f) --------------------------------------
+  r.degraded = result.degraded;
+  r.degraded_sites = result.degraded_sites;
 
   // --- Monte-Carlo cross-check ---------------------------------------------
   if (config_.mc_trials > 0 && !profile.block_traces.empty()) {

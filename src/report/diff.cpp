@@ -7,6 +7,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "robust/error.hpp"
+
 namespace terrors::report {
 
 namespace {
@@ -22,12 +24,13 @@ double rel_delta(double before, double after) {
 DiffResult diff_reports(const RunReport& before, const RunReport& after,
                         const DiffOptions& options) {
   if (before.schema_version != after.schema_version) {
-    throw std::runtime_error("diff: schema versions differ (" +
+    robust::raise(robust::Category::kInput, "diff: schema versions differ (" +
                              std::to_string(before.schema_version) + " vs " +
                              std::to_string(after.schema_version) + ")");
   }
   if (before.program != after.program) {
-    throw std::runtime_error("diff: reports are for different programs ('" + before.program +
+    robust::raise(robust::Category::kInput,
+                  "diff: reports are for different programs ('" + before.program +
                              "' vs '" + after.program + "')");
   }
 

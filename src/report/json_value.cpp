@@ -3,13 +3,23 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "robust/error.hpp"
+
 namespace terrors::report {
 
 namespace {
 
+// Parse errors are malformed caller input (robust taxonomy: kInput), with
+// the byte offset so a corrupt report can be inspected directly.
 [[noreturn]] void fail(std::size_t pos, const std::string& what) {
-  throw std::runtime_error("JSON parse error at byte " + std::to_string(pos) + ": " + what);
+  robust::raise(robust::Category::kInput,
+                "JSON parse error at byte " + std::to_string(pos) + ": " + what);
 }
+
+// Recursion ceiling for nested containers: deep-enough documents would
+// otherwise overflow the stack long before exhausting memory.  256 is far
+// beyond any report this library writes.
+constexpr int kMaxDepth = 256;
 
 }  // namespace
 
@@ -27,6 +37,7 @@ class JsonParser {
 
  private:
   JsonValue value() {
+    if (depth_ > kMaxDepth) fail(pos_, "nesting deeper than 256 levels");
     if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
     switch (text_[pos_]) {
       case '{':
@@ -64,10 +75,12 @@ class JsonParser {
   JsonValue object() {
     JsonValue v;
     v.kind_ = JsonValue::Kind::kObject;
+    ++depth_;
     ++pos_;  // '{'
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -86,6 +99,7 @@ class JsonParser {
       }
       if (peek() == '}') {
         ++pos_;
+        --depth_;
         return v;
       }
       fail(pos_, "expected ',' or '}'");
@@ -95,10 +109,12 @@ class JsonParser {
   JsonValue array() {
     JsonValue v;
     v.kind_ = JsonValue::Kind::kArray;
+    ++depth_;
     ++pos_;  // '['
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return v;
     }
     while (true) {
@@ -111,6 +127,7 @@ class JsonParser {
       }
       if (peek() == ']') {
         ++pos_;
+        --depth_;
         return v;
       }
       fail(pos_, "expected ',' or ']'");
@@ -237,38 +254,39 @@ class JsonParser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 JsonValue JsonValue::parse(std::string_view text) { return JsonParser(text).run(); }
 
 double JsonValue::as_number() const {
-  if (kind_ != Kind::kNumber) throw std::runtime_error("JSON value is not a number");
+  if (kind_ != Kind::kNumber) robust::raise(robust::Category::kInput, "JSON value is not a number");
   return number_;
 }
 
 bool JsonValue::as_bool() const {
-  if (kind_ != Kind::kBool) throw std::runtime_error("JSON value is not a bool");
+  if (kind_ != Kind::kBool) robust::raise(robust::Category::kInput, "JSON value is not a bool");
   return bool_;
 }
 
 std::uint64_t JsonValue::as_uint() const {
   const double v = as_number();
-  if (v < 0.0 || std::floor(v) != v) throw std::runtime_error("JSON number is not a uint");
+  if (v < 0.0 || std::floor(v) != v) robust::raise(robust::Category::kInput, "JSON number is not a uint");
   return static_cast<std::uint64_t>(v);
 }
 
 const std::string& JsonValue::as_string() const {
-  if (kind_ != Kind::kString) throw std::runtime_error("JSON value is not a string");
+  if (kind_ != Kind::kString) robust::raise(robust::Category::kInput, "JSON value is not a string");
   return string_;
 }
 
 const std::vector<JsonValue>& JsonValue::items() const {
-  if (kind_ != Kind::kArray) throw std::runtime_error("JSON value is not an array");
+  if (kind_ != Kind::kArray) robust::raise(robust::Category::kInput, "JSON value is not an array");
   return items_;
 }
 
 const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
-  if (kind_ != Kind::kObject) throw std::runtime_error("JSON value is not an object");
+  if (kind_ != Kind::kObject) robust::raise(robust::Category::kInput, "JSON value is not an object");
   return members_;
 }
 
@@ -282,7 +300,7 @@ const JsonValue* JsonValue::find(std::string_view key) const {
 
 const JsonValue& JsonValue::at(std::string_view key) const {
   const JsonValue* v = find(key);
-  if (v == nullptr) throw std::runtime_error("missing JSON key '" + std::string(key) + "'");
+  if (v == nullptr) robust::raise(robust::Category::kInput, "missing JSON key '" + std::string(key) + "'");
   return *v;
 }
 

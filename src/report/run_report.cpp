@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "obs/json.hpp"
+#include "robust/error.hpp"
+#include "robust/fault_injection.hpp"
 
 namespace terrors::report {
 
@@ -252,9 +254,20 @@ void RunReport::write_json(std::ostream& os) const {
     write_bool(os, d.cyclic);
     os << ",\"max_residual\":";
     json_number(os, d.max_residual);
+    // Emitted only when set: healthy reports stay byte-identical.
+    if (d.degraded) os << ",\"degraded\":true";
     os << "}";
   }
   os << "]}";
+
+  if (degraded) {
+    os << ",\"degraded\":{\"sites\":[";
+    for (std::size_t i = 0; i < degraded_sites.size(); ++i) {
+      if (i != 0) os << ",";
+      json_string(os, degraded_sites[i]);
+    }
+    os << "]}";
+  }
 
   os << ",\"mc\":{\"enabled\":";
   write_bool(os, mc.enabled);
@@ -266,16 +279,17 @@ void RunReport::write_json(std::ostream& os) const {
 }
 
 RunReport RunReport::from_json(const JsonValue& doc) {
-  if (!doc.is_object()) throw std::runtime_error("run report: top level is not an object");
+  if (!doc.is_object())
+    robust::raise(robust::Category::kArtifact, "run report: top level is not an object");
   const JsonValue* kind = doc.find("kind");
   if (kind == nullptr || !kind->is_string() || kind->as_string() != kReportKind) {
-    throw std::runtime_error("run report: not a terrors_run_report document");
+    robust::raise(robust::Category::kArtifact, "run report: not a terrors_run_report document");
   }
   const auto version = static_cast<int>(doc.at("schema_version").as_uint());
   if (version != kSchemaVersion) {
-    throw std::runtime_error("run report: unsupported schema_version " +
-                             std::to_string(version) + " (expected " +
-                             std::to_string(kSchemaVersion) + ")");
+    robust::raise(robust::Category::kArtifact, "run report: unsupported schema_version " +
+                                                   std::to_string(version) + " (expected " +
+                                                   std::to_string(kSchemaVersion) + ")");
   }
 
   RunReport r;
@@ -374,7 +388,17 @@ RunReport RunReport::from_json(const JsonValue& doc) {
     d.size = static_cast<std::size_t>(dv.get_uint("size"));
     d.cyclic = dv.at("cyclic").as_bool();
     d.max_residual = dv.get_number("max_residual");
+    const JsonValue* deg = dv.find("degraded");
+    d.degraded = deg != nullptr && deg->as_bool();
     r.solver.sccs.push_back(d);
+  }
+
+  // Optional (absent from healthy and pre-§5f reports).
+  if (const JsonValue* deg = doc.find("degraded")) {
+    r.degraded = true;
+    for (const JsonValue& sv : deg->at("sites").items()) {
+      r.degraded_sites.push_back(sv.as_string());
+    }
   }
 
   const JsonValue& mcv = doc.at("mc");
@@ -385,17 +409,28 @@ RunReport RunReport::from_json(const JsonValue& doc) {
 }
 
 RunReport RunReport::load(const std::string& path) {
+  robust::maybe_fault("report.read");
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open run report '" + path + "'");
+  if (!in)
+    robust::raise(robust::Category::kResource, "cannot open run report '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
-  return from_json(JsonValue::parse(buf.str()));
+  try {
+    return from_json(JsonValue::parse(buf.str()));
+  } catch (const robust::Error& e) {
+    throw robust::Error::wrap("load run report '" + path + "'", e);
+  }
 }
 
 void RunReport::save(const std::string& path) const {
+  robust::maybe_fault("io.write");
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("cannot write run report '" + path + "'");
+  if (!out)
+    robust::raise(robust::Category::kResource, "cannot write run report '" + path + "'");
   write_json(out);
+  out.flush();
+  if (!out)
+    robust::raise(robust::Category::kResource, "write to run report '" + path + "' failed");
 }
 
 }  // namespace terrors::report

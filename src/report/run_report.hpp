@@ -95,6 +95,9 @@ struct SccDiag {
   std::size_t size = 0;
   bool cyclic = false;
   double max_residual = 0.0;
+  /// The solve needed the degradation path (refinement / fixed point) in
+  /// at least one sample world (DESIGN §5f).
+  bool degraded = false;
 };
 
 struct SolverDiagnostics {
@@ -141,6 +144,13 @@ struct RunReport {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
 
+  /// Graceful degradation fired during this run (DESIGN §5f).  Written
+  /// to JSON only when true, so healthy reports are byte-identical to
+  /// pre-degradation readers and writers.
+  bool degraded = false;
+  /// Sorted unique degradation site tags ("cache", "solver", "pool", "io").
+  std::vector<std::string> degraded_sites;
+
   std::vector<BlockAttribution> blocks;
   std::vector<StageSlack> stages;
   std::vector<OpcodeAttribution> opcodes;
@@ -154,10 +164,12 @@ struct RunReport {
 
   /// Deterministic single-document JSON (schema above; key order fixed).
   void write_json(std::ostream& os) const;
-  /// Inverse of write_json.  Throws std::runtime_error on malformed
-  /// documents, a wrong "kind", or an unsupported schema_version.
+  /// Inverse of write_json.  Throws robust::Error (kArtifact) on
+  /// malformed documents, a wrong "kind", or an unsupported
+  /// schema_version; kInput on JSON type errors.
   static RunReport from_json(const JsonValue& doc);
-  /// Read + parse + from_json; throws std::runtime_error on I/O errors.
+  /// Read + parse + from_json; throws robust::Error (kResource on I/O
+  /// errors, kArtifact/kInput wrapped with the path as context).
   static RunReport load(const std::string& path);
   /// write_json to `path` (atomically enough for CI: truncate+write).
   void save(const std::string& path) const;

@@ -1,0 +1,52 @@
+// `terrors doctor`: environment self-test (DESIGN §5f).
+//
+// Four checks, each mapped to the error taxonomy so the CLI can exit
+// with a category-coded status when the environment is broken:
+//
+//   cache    — the artifact cache directory accepts a store/load
+//              round-trip (kResource when unwritable),
+//   pool     — a parallel_for over 512 indices lands every result in its
+//              index-keyed slot at the configured thread count
+//              (kInternal on any misplacement),
+//   solver   — a known well-conditioned system solves to a tiny residual
+//              without degrading, and a near-singular system degrades to
+//              a finite clamped result (kNumerical otherwise),
+//   analysis — a golden micro-analysis (3-block loop program on the
+//              default pipeline) produces a finite error rate in [0,1].
+//
+// Checks never throw: failures are captured as Findings and classified.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "robust/error.hpp"
+
+namespace terrors::robust {
+
+struct DoctorOptions {
+  /// Cache directory to probe; empty resolves TERRORS_CACHE_DIR, then
+  /// falls back to a scratch directory under the system temp dir.
+  std::string cache_dir;
+};
+
+struct Finding {
+  std::string check;
+  bool ok = false;
+  /// Failure category (meaningful only when !ok).
+  Category category = Category::kInternal;
+  std::string detail;
+};
+
+struct DoctorReport {
+  std::vector<Finding> findings;
+  [[nodiscard]] bool ok() const;
+  /// 0 when healthy, else the exit code of the first failing finding's
+  /// category (see exit_code_for).
+  [[nodiscard]] int exit_code() const;
+};
+
+/// Run every check; never throws.
+[[nodiscard]] DoctorReport run_doctor(const DoctorOptions& options = {});
+
+}  // namespace terrors::robust

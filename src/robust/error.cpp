@@ -1,0 +1,84 @@
+#include "robust/error.hpp"
+
+#include <new>
+
+namespace terrors::robust {
+
+std::string_view category_name(Category c) {
+  switch (c) {
+    case Category::kInput:
+      return "input";
+    case Category::kArtifact:
+      return "artifact";
+    case Category::kNumerical:
+      return "numerical";
+    case Category::kResource:
+      return "resource";
+    case Category::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+int exit_code_for(Category c) {
+  switch (c) {
+    case Category::kInput:
+      return 3;
+    case Category::kArtifact:
+      return 4;
+    case Category::kNumerical:
+      return 5;
+    case Category::kResource:
+      return 6;
+    case Category::kInternal:
+      return 7;
+  }
+  return 7;
+}
+
+std::string Error::render_chain(Category category, const std::vector<std::string>& chain) {
+  std::string out = "[";
+  out += category_name(category);
+  out += "] ";
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    if (i > 0) out += ": caused by: ";
+    out += chain[i];
+  }
+  return out;
+}
+
+Error::Error(Category category, std::string message)
+    : Error(category, std::vector<std::string>{std::move(message)}) {}
+
+Error::Error(Category category, std::vector<std::string> chain)
+    : std::runtime_error(render_chain(category, chain)),
+      category_(category),
+      chain_(std::move(chain)) {}
+
+Error Error::wrap(std::string context, const std::exception& cause, Category fallback) {
+  std::vector<std::string> chain;
+  chain.push_back(std::move(context));
+  Category category = fallback;
+  if (const auto* typed = dynamic_cast<const Error*>(&cause)) {
+    category = typed->category_;
+    chain.insert(chain.end(), typed->chain_.begin(), typed->chain_.end());
+  } else {
+    category = classify(cause);
+    if (category == Category::kInternal) category = fallback;
+    chain.emplace_back(cause.what());
+  }
+  return Error(category, std::move(chain));
+}
+
+Category classify(const std::exception& e) {
+  if (const auto* typed = dynamic_cast<const Error*>(&e)) return typed->category();
+  if (dynamic_cast<const std::bad_alloc*>(&e) != nullptr) return Category::kResource;
+  if (dynamic_cast<const std::invalid_argument*>(&e) != nullptr) return Category::kInput;
+  return Category::kInternal;
+}
+
+void raise(Category category, std::string message) {
+  throw Error(category, std::move(message));
+}
+
+}  // namespace terrors::robust

@@ -1,0 +1,13 @@
+// Bridges between the robust layer and subsystems that cannot link it.
+//
+// support::ThreadPool sits at the bottom of the link order, so its
+// fault-injection site (`pool.task`) and retry metering are injected as
+// runtime hooks.  install_pool_hooks() is idempotent and cheap; the
+// framework and the fault injector both call it on their init paths.
+#pragma once
+
+namespace terrors::robust {
+
+void install_pool_hooks();
+
+}  // namespace terrors::robust

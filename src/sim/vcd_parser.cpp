@@ -1,8 +1,12 @@
 #include "sim/vcd_parser.hpp"
 
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
+#include "robust/error.hpp"
+#include "robust/fault_injection.hpp"
 #include "support/check.hpp"
 
 namespace terrors::sim {
@@ -31,29 +35,47 @@ VcdParser::VcdParser(double period_ps) : period_ps_(period_ps) {
 }
 
 VcdDump VcdParser::parse(std::istream& in) const {
+  robust::maybe_fault("vcd.parse");
   VcdDump dump;
   std::unordered_map<std::string, std::size_t> by_id;
 
-  // --- header ---------------------------------------------------------------
+  // Byte offset of the most recently extracted token, for diagnostics.
+  // tellg() can be -1 on a stream whose eofbit is already set; those late
+  // failures report "near end of stream" instead of a bogus offset.
+  long long tok_offset = -1;
   std::string tok;
+  auto next = [&]() -> bool {
+    if (!(in >> tok)) return false;
+    const auto g = in.tellg();
+    tok_offset = g >= 0 ? static_cast<long long>(g) - static_cast<long long>(tok.size()) : -1;
+    return true;
+  };
+  auto fail = [&](const std::string& msg) {
+    const std::string where =
+        tok_offset >= 0 ? "at byte " + std::to_string(tok_offset) : "near end of stream";
+    robust::raise(robust::Category::kInput, "VCD parse error " + where + ": " + msg);
+  };
+
+  // --- header ---------------------------------------------------------------
   bool definitions_done = false;
-  while (!definitions_done && in >> tok) {
+  while (!definitions_done && next()) {
     if (tok == "$var") {
       std::string type;
       int width = 0;
       std::string id;
       std::string name;
-      in >> type >> width >> id >> name;
+      if (!(in >> type >> width >> id >> name)) fail("truncated $var declaration");
       // Consume everything up to $end (names may carry [ranges]).
       std::string rest;
       while (in >> rest && rest != "$end") name += rest;
-      TE_REQUIRE(width >= 1, "bad $var width");
+      if (rest != "$end") fail("$var declaration missing $end");
+      if (width < 1) fail("bad $var width for signal '" + name + "'");
       by_id.emplace(id, dump.signals_.size());
       dump.signals_.push_back({id, name, width});
     } else if (tok == "$enddefinitions") {
       std::string end;
       in >> end;
-      TE_REQUIRE(end == "$end", "malformed $enddefinitions");
+      if (end != "$end") fail("malformed $enddefinitions");
       definitions_done = true;
     } else if (tok[0] == '$') {
       // Skip other header sections ($date, $version, $timescale, $scope...).
@@ -63,16 +85,17 @@ VcdDump VcdParser::parse(std::istream& in) const {
         }
       }
     } else {
-      TE_REQUIRE(false, "unexpected token before $enddefinitions: " + tok);
+      fail("unexpected token before $enddefinitions: " + tok);
     }
   }
-  TE_REQUIRE(definitions_done, "VCD stream has no $enddefinitions");
-  TE_REQUIRE(!dump.signals_.empty(), "VCD stream declares no signals");
+  if (!definitions_done) fail("VCD stream has no $enddefinitions");
+  if (dump.signals_.empty()) fail("VCD stream declares no signals");
 
   // --- value changes ----------------------------------------------------------
   std::vector<std::uint8_t> current(dump.signals_.size(), 0);
   double sample_edge = period_ps_;  // next sampling boundary
   bool any_time = false;
+  std::uint64_t last_ticks = 0;
   // True while the window past the last emitted sample holds content (a
   // timestamp strictly inside it, or a value change): only then does EOF
   // close a final partial sample.  A dump whose last `#t` lands exactly on
@@ -87,10 +110,25 @@ VcdDump VcdParser::parse(std::istream& in) const {
     partial_pending = time_ps > sample_edge - period_ps_;
   };
 
-  while (in >> tok) {
+  while (next()) {
     if (tok[0] == '#') {
-      const double t = std::stod(tok.substr(1));
-      close_samples_until(t);
+      // VCD timestamps are unsigned decimal tick counts; anything else
+      // (sign, fraction, garbage, overflow) is a corrupt dump.
+      const std::string digits = tok.substr(1);
+      if (digits.empty()) fail("empty timestamp");
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long long ticks = std::strtoull(digits.c_str(), &end, 10);
+      if (end != digits.c_str() + digits.size() || digits[0] == '-' || digits[0] == '+') {
+        fail("malformed timestamp '" + tok + "'");
+      }
+      if (errno == ERANGE) fail("timestamp overflow in '" + tok + "'");
+      if (any_time && ticks < last_ticks) {
+        fail("non-monotonic timestamp '" + tok + "' (previous " +
+             std::to_string(last_ticks) + ")");
+      }
+      last_ticks = ticks;
+      close_samples_until(static_cast<double>(ticks));
       any_time = true;
     } else if (tok == "$dumpvars" || tok == "$end" || tok == "$dumpall" || tok == "$dumpon" ||
                tok == "$dumpoff") {
@@ -99,22 +137,24 @@ VcdDump VcdParser::parse(std::istream& in) const {
                tok[0] == 'X' || tok[0] == 'Z') {
       const std::string id = tok.substr(1);
       auto it = by_id.find(id);
-      TE_REQUIRE(it != by_id.end(), "value change for undeclared identifier: " + id);
+      if (it == by_id.end()) fail("value change for undeclared identifier: " + id);
       // x/z conservatively map to 0.
       current[it->second] = tok[0] == '1' ? 1 : 0;
       partial_pending = true;
     } else if (tok[0] == 'b' || tok[0] == 'B') {
       // Vector change: bWIDTHBITS identifier.
-      std::string id;
-      in >> id;
-      auto it = by_id.find(id);
-      TE_REQUIRE(it != by_id.end(), "vector change for undeclared identifier: " + id);
-      // Scalar projection: LSB.
+      if (tok.size() < 2) fail("vector change with no bits");
       const char lsb = tok.back();
+      std::string id;
+      if (!next()) fail("vector change missing identifier");
+      id = tok;
+      auto it = by_id.find(id);
+      if (it == by_id.end()) fail("vector change for undeclared identifier: " + id);
+      // Scalar projection: LSB.
       current[it->second] = lsb == '1' ? 1 : 0;
       partial_pending = true;
     } else {
-      TE_REQUIRE(false, "unexpected token in value-change section: " + tok);
+      fail("unexpected token in value-change section: " + tok);
     }
   }
   // Close the final (possibly partial) sample.

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 #include <memory>
+#include <string>
 
 #include "support/check.hpp"
 
@@ -15,20 +16,51 @@ namespace {
 thread_local std::size_t tl_worker = 0;
 thread_local bool tl_in_parallel = false;
 
+std::mutex g_hooks_mutex;
+std::shared_ptr<const PoolHooks> g_hooks;
+
+std::shared_ptr<const PoolHooks> hooks_snapshot() {
+  std::lock_guard<std::mutex> lock(g_hooks_mutex);
+  return g_hooks;
+}
+
+/// What() of an exception_ptr, for the retry hook.
+std::string describe(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
 }  // namespace
+
+void set_pool_hooks(PoolHooks hooks) {
+  std::lock_guard<std::mutex> lock(g_hooks_mutex);
+  g_hooks = std::make_shared<const PoolHooks>(std::move(hooks));
+}
+
+/// One index whose task threw, with the exception — retried serially by
+/// the caller after quiescence.
+struct ThreadPool::Failure {
+  std::size_t index;
+  std::exception_ptr error;
+};
 
 /// One published parallel_for: an atomic chunk cursor plus completion and
 /// quiescence accounting.  Lives on the caller's stack; `refs` (mutated
 /// under the pool mutex) keeps workers from touching it after retirement.
 struct ThreadPool::Job {
   const Task* fn = nullptr;
+  const PoolHooks* hooks = nullptr;  ///< per-job snapshot (may be null)
   std::size_t n = 0;
   std::size_t grain = 1;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::atomic<bool> cancelled{false};
-  std::exception_ptr error;
-  std::size_t refs = 0;  ///< workers currently attached (guarded by mutex_)
+  std::vector<Failure> failures;  ///< guarded by mutex_
+  std::size_t refs = 0;           ///< workers currently attached (guarded by mutex_)
 };
 
 ThreadPool::ThreadPool(std::size_t threads)
@@ -55,6 +87,7 @@ ThreadPool::Stats ThreadPool::stats() const {
   s.jobs = jobs_.load(std::memory_order_relaxed);
   s.tasks = tasks_.load(std::memory_order_relaxed);
   s.steal_or_wait = waits_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -65,16 +98,16 @@ void ThreadPool::run_chunks(Job& job, std::size_t worker) {
     if (begin >= job.n) break;
     got_work = true;
     const std::size_t end = std::min(job.n, begin + job.grain);
-    if (!job.cancelled.load(std::memory_order_relaxed)) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // A failing index never cancels its siblings: it is recorded and
+      // retried serially by the caller after the loop quiesces, so a
+      // transient fault leaves every slot identical to a serial run.
       try {
-        for (std::size_t i = begin; i < end; ++i) {
-          if (job.cancelled.load(std::memory_order_relaxed)) break;
-          (*job.fn)(i, worker);
-        }
+        if (job.hooks != nullptr && job.hooks->task_enter) job.hooks->task_enter(i);
+        (*job.fn)(i, worker);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex_);
-        if (!job.error) job.error = std::current_exception();
-        job.cancelled.store(true, std::memory_order_relaxed);
+        job.failures.push_back({i, std::current_exception()});
       }
     }
     tasks_.fetch_add(1, std::memory_order_relaxed);
@@ -86,6 +119,25 @@ void ThreadPool::run_chunks(Job& job, std::size_t worker) {
     }
   }
   if (!got_work) waits_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ThreadPool::retry_failures(std::vector<Failure>& failures, const PoolHooks* hooks,
+                                const Task& fn) {
+  std::sort(failures.begin(), failures.end(),
+            [](const Failure& a, const Failure& b) { return a.index < b.index; });
+  for (const auto& f : failures) {
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    const std::string what = describe(f.error);
+    // The retry runs the task directly — deliberately NOT through
+    // task_enter, so an injected fault at this index fires exactly once.
+    try {
+      fn(f.index, tl_worker);
+    } catch (...) {
+      if (hooks != nullptr && hooks->task_retry) hooks->task_retry(f.index, what.c_str(), false);
+      throw;
+    }
+    if (hooks != nullptr && hooks->task_retry) hooks->task_retry(f.index, what.c_str(), true);
+  }
 }
 
 void ThreadPool::worker_main(std::size_t worker) {
@@ -113,16 +165,28 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain, const Task& fn) 
   if (n == 0) return;
   if (grain == 0) grain = 1;
   jobs_.fetch_add(1, std::memory_order_relaxed);
+  const std::shared_ptr<const PoolHooks> hooks = hooks_snapshot();
 
-  // Serial fallback and nested calls: run inline, in index order.
+  // Serial fallback and nested calls: run inline, in index order, with
+  // the same catch-and-retry-once contract as the pooled path.
   if (threads_ == 1 || n == 1 || tl_in_parallel) {
-    for (std::size_t i = 0; i < n; ++i) fn(i, tl_worker);
+    std::vector<Failure> failures;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        if (hooks && hooks->task_enter) hooks->task_enter(i);
+        fn(i, tl_worker);
+      } catch (...) {
+        failures.push_back({i, std::current_exception()});
+      }
+    }
     tasks_.fetch_add((n + grain - 1) / grain, std::memory_order_relaxed);
+    if (!failures.empty()) retry_failures(failures, hooks.get(), fn);
     return;
   }
 
   Job job;
   job.fn = &fn;
+  job.hooks = hooks.get();
   job.n = n;
   job.grain = grain;
   {
@@ -146,7 +210,18 @@ void ThreadPool::parallel_for(std::size_t n, std::size_t grain, const Task& fn) 
     });
     job_ = nullptr;
   }
-  if (job.error) std::rethrow_exception(job.error);
+  if (!job.failures.empty()) {
+    // Retries happen outside the pool region but must keep the nested-call
+    // semantics the task saw the first time (nested parallel_for inlines).
+    tl_in_parallel = true;
+    try {
+      retry_failures(job.failures, hooks.get(), fn);
+    } catch (...) {
+      tl_in_parallel = false;
+      throw;
+    }
+    tl_in_parallel = false;
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -10,9 +10,12 @@
 //  * Serial fallback: a pool of size 1 runs every index inline on the
 //    calling thread, in order, with no locking — `threads=1` is exactly
 //    the old serial code path.
-//  * Exception propagation: the first exception thrown by any index is
-//    rethrown on the calling thread after the loop quiesces; remaining
-//    indices are skipped (their slots stay default-initialised).
+//  * Exception containment: an index that throws is recorded (it does
+//    not cancel the remaining indices) and retried ONCE, serially, on
+//    the calling thread after the loop quiesces — transient failures
+//    therefore leave the result identical to an all-serial run.  If the
+//    retry throws again, that exception propagates to the caller (so
+//    deterministic task bugs still surface exactly as before).
 //
 // The process-wide pool size comes from set_global_threads() (the CLI /
 // bench `--threads` flag) or, if never set, the TERRORS_THREADS
@@ -29,6 +32,8 @@
 #include <vector>
 
 namespace terrors::support {
+
+struct PoolHooks;
 
 class ThreadPool {
  public:
@@ -56,6 +61,7 @@ class ThreadPool {
     std::uint64_t jobs = 0;           ///< parallel_for invocations
     std::uint64_t tasks = 0;          ///< chunks executed
     std::uint64_t steal_or_wait = 0;  ///< wake-ups that found no chunk left
+    std::uint64_t retries = 0;        ///< failed indices re-run serially
   };
   [[nodiscard]] Stats stats() const;
 
@@ -65,8 +71,12 @@ class ThreadPool {
 
  private:
   struct Job;
+  struct Failure;
   void worker_main(std::size_t worker);
   void run_chunks(Job& job, std::size_t worker);
+  /// Serially re-run failed indices (sorted) once; rethrows on a second
+  /// failure of the same index.
+  void retry_failures(std::vector<Failure>& failures, const PoolHooks* hooks, const Task& fn);
 
   std::size_t threads_;
   std::vector<std::thread> workers_;
@@ -81,6 +91,7 @@ class ThreadPool {
   std::atomic<std::uint64_t> jobs_{0};
   std::atomic<std::uint64_t> tasks_{0};
   std::atomic<std::uint64_t> waits_{0};
+  std::atomic<std::uint64_t> retries_{0};
 };
 
 /// Process-wide pool, sized by set_global_threads() / TERRORS_THREADS
@@ -95,5 +106,23 @@ void set_global_threads(std::size_t threads);
 
 /// The currently configured global pool size (after env / flag resolution).
 std::size_t global_threads();
+
+/// Cross-cutting hooks, installed once by the robust layer (support is
+/// the bottom of the link order and cannot call obs/robust directly).
+///
+///  * task_enter(index) runs immediately before each loop index, on the
+///    worker that owns it.  A throw from the hook is treated exactly like
+///    the task itself throwing — this is the `pool.task` fault-injection
+///    site.  Must be deterministic in `index` (never in worker/arrival
+///    order), or chaos runs lose reproducibility.
+///  * task_retry(index, what, ok) reports the outcome of the serial
+///    retry of a failed index (degradation metering + logging).
+///
+/// Both must be thread-safe; either may be empty.
+struct PoolHooks {
+  std::function<void(std::size_t index)> task_enter;
+  std::function<void(std::size_t index, const char* what, bool retry_ok)> task_retry;
+};
+void set_pool_hooks(PoolHooks hooks);
 
 }  // namespace terrors::support

@@ -11,6 +11,7 @@
 #include "isa/executor.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/pipeline.hpp"
+#include "robust/error.hpp"
 #include "sim/logic_sim.hpp"
 #include "sim/vcd.hpp"
 #include "sim/vcd_parser.hpp"
@@ -66,10 +67,10 @@ TEST(VcdRoundTrip, WriterOutputParsesBack) {
 TEST(VcdParser, RejectsMalformedStreams) {
   const sim::VcdParser parser(1000.0);
   std::istringstream no_defs("$timescale 1ps $end #0 1!");
-  EXPECT_THROW((void)parser.parse(no_defs), std::invalid_argument);
+  EXPECT_THROW((void)parser.parse(no_defs), terrors::robust::Error);
   std::istringstream unknown_id(
       "$var wire 1 ! a $end $enddefinitions $end #0 1?");
-  EXPECT_THROW((void)parser.parse(unknown_id), std::invalid_argument);
+  EXPECT_THROW((void)parser.parse(unknown_id), terrors::robust::Error);
 }
 
 TEST(VcdParser, NoDuplicateSampleWhenDumpEndsOnPeriodBoundary) {

@@ -5,6 +5,7 @@
 #include "isa/isa.hpp"
 #include "isa/assembler.hpp"
 #include "isa/program.hpp"
+#include "robust/error.hpp"
 
 namespace terrors::isa {
 namespace {
@@ -302,12 +303,13 @@ TEST(Assembler, ErrorsCarryLineNumbers) {
   try {
     (void)assemble("movi r1, 1\nbogus r1, r2, r3\n");
     FAIL() << "expected throw";
-  } catch (const std::invalid_argument& e) {
+  } catch (const terrors::robust::Error& e) {
+    EXPECT_EQ(e.category(), terrors::robust::Category::kInput);
     EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
   }
-  EXPECT_THROW((void)assemble("beq r1, r2, nowhere\nhalt\n"), std::invalid_argument);
-  EXPECT_THROW((void)assemble("movi r99, 1\nhalt\n"), std::invalid_argument);
-  EXPECT_THROW((void)assemble("movi r1, 999999\nhalt\n"), std::invalid_argument);
+  EXPECT_THROW((void)assemble("beq r1, r2, nowhere\nhalt\n"), terrors::robust::Error);
+  EXPECT_THROW((void)assemble("movi r99, 1\nhalt\n"), terrors::robust::Error);
+  EXPECT_THROW((void)assemble("movi r1, 999999\nhalt\n"), terrors::robust::Error);
 }
 
 TEST(Assembler, StOperandOrder) {

@@ -11,6 +11,13 @@
 //                   [--report F] [--report-mc N] [--log-level L]
 //                   [--cache-dir D]      full error-rate analysis row
 //   terrors vcd <name> [--cycles N]      VCD dump of a benchmark window
+//   terrors doctor [--cache-dir D]       environment self-test
+//
+// Failures surface as typed error chains (`error: [category] ...: caused
+// by: ...`) with category exit codes: 3 input, 4 artifact, 5 numerical,
+// 6 resource, 7 internal (0 ok, 1 generic, 2 diff regression).  A fault
+// plan from --inject-faults / TERRORS_FAULTS arms deterministic chaos
+// (see src/robust/fault_injection.hpp).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +37,10 @@
 #include "report/diff.hpp"
 #include "report/render.hpp"
 #include "report/run_report.hpp"
+#include "robust/degrade.hpp"
+#include "robust/doctor.hpp"
+#include "robust/error.hpp"
+#include "robust/fault_injection.hpp"
 #include "sim/vcd.hpp"
 #include "support/thread_pool.hpp"
 #include "timing/report.hpp"
@@ -93,6 +104,17 @@ double num_flag(const std::map<std::string, std::string>& flags, const char* nam
   return it == flags.end() ? fallback : std::stod(it->second);
 }
 
+/// Print a typed error chain and return its category exit code.
+int print_error(const std::exception& e) {
+  if (const auto* err = dynamic_cast<const robust::Error*>(&e)) {
+    std::fprintf(stderr, "error: %s\n", err->render().c_str());
+    return robust::exit_code_for(err->category());
+  }
+  std::fprintf(stderr, "error: [%s] %s\n",
+               std::string(robust::category_name(robust::classify(e))).c_str(), e.what());
+  return robust::exit_code_for(robust::classify(e));
+}
+
 const workloads::WorkloadSpec* find_spec(const char* name) {
   for (const auto& s : workloads::mibench_specs()) {
     if (s.name == name) return &s;
@@ -154,8 +176,7 @@ int cmd_report(int argc, char** argv) {
       const report::RunReport r = report::RunReport::load(argv[2]);
       report::write_text(r, std::cout, top);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "%s\n", e.what());
-      return 1;
+      return print_error(e);
     }
     return 0;
   }
@@ -197,8 +218,7 @@ int cmd_diff(int argc, char** argv) {
     report::write_diff(result, std::cout);
     return result.ok() ? 0 : 2;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 1;
+    return print_error(e);
   }
 }
 
@@ -221,9 +241,19 @@ int cmd_analyze(int argc, char** argv, const char* name) {
                     {"--report", true},
                     {"--report-mc", true},
                     {"--log-level", true},
-                    {"--cache-dir", true}},
+                    {"--cache-dir", true},
+                    {"--inject-faults", true},
+                    {"--strict", false}},
                    flags))
     return 1;
+  if (const auto it = flags.find("--inject-faults"); it != flags.end()) {
+    try {
+      robust::FaultInjector::instance().arm(robust::FaultPlan::parse(it->second));
+    } catch (const std::exception& e) {
+      return print_error(e);
+    }
+  }
+  const bool strict = flags.count("--strict") != 0;
   const double period = num_flag(flags, "--period", 1300.0);
   const double scale = num_flag(flags, "--scale", 1e-4);
   const auto runs = static_cast<std::size_t>(num_flag(flags, "--runs", 4));
@@ -258,8 +288,13 @@ int cmd_analyze(int argc, char** argv, const char* name) {
   ccfg.threads = support::global_pool().size();
   report::AttributionCollector collector(ccfg);
   const isa::Program program = workloads::generate_program(*spec);
-  const auto r = framework.analyze(program, workloads::generate_inputs(*spec, runs, 2026),
-                                   want_report ? &collector : nullptr);
+  core::BenchmarkResult r;
+  try {
+    r = framework.analyze(program, workloads::generate_inputs(*spec, runs, 2026),
+                          want_report ? &collector : nullptr);
+  } catch (const std::exception& e) {
+    return print_error(e);
+  }
   const perf::TsProcessorModel ts;
   std::printf("%s @ %.1f MHz (scale %.0e, %zu runs)\n", spec->name.c_str(),
               cfg.spec.frequency_mhz(), scale, runs);
@@ -277,14 +312,43 @@ int cmd_analyze(int argc, char** argv, const char* name) {
                 static_cast<unsigned long long>(r.cache_misses));
   std::printf("  TS net perf      : %+.2f %%\n",
               100.0 * ts.performance_improvement(std::min(1.0, r.estimate.rate_mean())));
+  if (r.degraded) {
+    std::string sites;
+    for (const auto& site : r.degraded_sites) {
+      if (!sites.empty()) sites += ", ";
+      sites += site;
+    }
+    std::printf("  degraded         : yes (%s) — best-effort result\n", sites.c_str());
+  }
+
+  // Peripheral outputs (trace, report, metrics): the headline estimate is
+  // already on stdout, so a failed write degrades (warn + robust.degraded)
+  // instead of failing the analysis — unless --strict asks otherwise.
+  int peripheral_rc = 0;
+  auto peripheral = [&](const char* what, const std::string& path, auto&& writer) {
+    try {
+      robust::maybe_fault("io.write");
+      std::ofstream out(path);
+      if (!out) {
+        robust::raise(robust::Category::kResource,
+                      std::string("cannot open ") + what + " file '" + path + "'");
+      }
+      writer(out);
+      out.flush();
+      if (!out) {
+        robust::raise(robust::Category::kResource,
+                      std::string("write to ") + what + " file '" + path + "' failed");
+      }
+    } catch (const std::exception& e) {
+      robust::note_degraded("io", std::string(what) + " write failed: " + e.what());
+      std::fprintf(stderr, "warning: %s\n", e.what());
+      if (strict && peripheral_rc == 0) peripheral_rc = print_error(e);
+    }
+  };
 
   if (const auto it = flags.find("--trace"); it != flags.end()) {
-    std::ofstream out(it->second);
-    if (!out) {
-      std::fprintf(stderr, "cannot open trace file '%s'\n", it->second.c_str());
-      return 1;
-    }
-    obs::Tracer::instance().write_chrome_trace(out);
+    peripheral("trace", it->second,
+               [](std::ostream& out) { obs::Tracer::instance().write_chrome_trace(out); });
   }
   if (flags.count("--trace-tree") != 0) obs::Tracer::instance().write_text_tree(std::cerr);
   if (want_report) {
@@ -293,27 +357,42 @@ int cmd_analyze(int argc, char** argv, const char* name) {
       const report::RunReport run_report = collector.build(framework, program, r);
       run_report.save(path);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "cannot write report '%s': %s\n", path.c_str(), e.what());
-      return 1;
+      robust::note_degraded("io", std::string("run report write failed: ") + e.what());
+      std::fprintf(stderr, "warning: cannot write report '%s': %s\n", path.c_str(), e.what());
+      if (strict && peripheral_rc == 0) peripheral_rc = print_error(e);
     }
   }
   if (const auto it = flags.find("--metrics"); it != flags.end()) {
-    std::ofstream out(it->second);
-    if (!out) {
-      std::fprintf(stderr, "cannot open metrics file '%s'\n", it->second.c_str());
-      return 1;
-    }
-    obs::MetricsRegistry::instance().write_json(out);
+    peripheral("metrics", it->second,
+               [](std::ostream& out) { obs::MetricsRegistry::instance().write_json(out); });
   }
   if (const auto it = flags.find("--metrics-prom"); it != flags.end()) {
-    std::ofstream out(it->second);
-    if (!out) {
-      std::fprintf(stderr, "cannot open metrics file '%s'\n", it->second.c_str());
-      return 1;
-    }
-    obs::MetricsRegistry::instance().write_prometheus(out);
+    peripheral("metrics", it->second,
+               [](std::ostream& out) { obs::MetricsRegistry::instance().write_prometheus(out); });
   }
-  return 0;
+  return peripheral_rc;
+}
+
+int cmd_doctor(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  if (!parse_flags(argc, argv, 2, {{"--cache-dir", true}}, flags)) return 1;
+  robust::DoctorOptions options;
+  if (const auto it = flags.find("--cache-dir"); it != flags.end()) options.cache_dir = it->second;
+  const robust::DoctorReport report = robust::run_doctor(options);
+  for (const auto& f : report.findings) {
+    if (f.ok) {
+      std::printf("  ok   %-8s %s\n", f.check.c_str(), f.detail.c_str());
+    } else {
+      std::printf("  FAIL %-8s [%s] %s\n", f.check.c_str(),
+                  std::string(robust::category_name(f.category)).c_str(), f.detail.c_str());
+    }
+  }
+  if (report.ok()) {
+    std::printf("doctor: environment healthy\n");
+  } else {
+    std::printf("doctor: environment has problems (exit %d)\n", report.exit_code());
+  }
+  return report.exit_code();
 }
 
 int cmd_vcd(int argc, char** argv, const char* name) {
@@ -382,7 +461,7 @@ int cmd_vcd(int argc, char** argv, const char* name) {
 }
 
 constexpr const char* kCommands[] = {"info", "list", "program", "report", "diff", "analyze",
-                                     "vcd"};
+                                     "vcd", "doctor"};
 
 void usage() {
   std::fputs(
@@ -407,8 +486,14 @@ void usage() {
       "          [--log-level LVL]     error|warn|info|debug|trace (default off)\n"
       "          [--cache-dir DIR]     content-addressed artifact cache (or\n"
       "                                TERRORS_CACHE_DIR; off by default)\n"
+      "          [--inject-faults SPEC] arm a deterministic fault plan (or\n"
+      "                                TERRORS_FAULTS), e.g. cache.read:prob=1:seed=7\n"
+      "          [--strict]            fail on peripheral write errors\n"
       "  vcd <name> [--cycles N]       dump a VCD window to stdout\n"
-      "flags accept both '--flag value' and '--flag=value'\n",
+      "  doctor [--cache-dir D]        self-test the environment; category exit codes\n"
+      "flags accept both '--flag value' and '--flag=value'\n"
+      "error exit codes: 1 generic, 2 diff regression, 3 input, 4 artifact,\n"
+      "                  5 numerical, 6 resource, 7 internal\n",
       stderr);
 }
 
@@ -419,14 +504,28 @@ int main(int argc, char** argv) {
     usage();
     return 1;
   }
+  // TERRORS_FAULTS arms a process-wide chaos plan for any command; an
+  // explicit --inject-faults later replaces it.
+  if (const char* env = std::getenv("TERRORS_FAULTS"); env != nullptr && env[0] != '\0') {
+    try {
+      robust::FaultInjector::instance().arm(robust::FaultPlan::parse(env));
+    } catch (const std::exception& e) {
+      return print_error(e);
+    }
+  }
   const std::string cmd = argv[1];
-  if (cmd == "info") return cmd_info();
-  if (cmd == "list") return cmd_list();
-  if (cmd == "report") return cmd_report(argc, argv);
-  if (cmd == "diff") return cmd_diff(argc, argv);
-  if (cmd == "program" && argc >= 3) return cmd_program(argv[2]);
-  if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc, argv, argv[2]);
-  if (cmd == "vcd" && argc >= 3) return cmd_vcd(argc, argv, argv[2]);
+  try {
+    if (cmd == "info") return cmd_info();
+    if (cmd == "list") return cmd_list();
+    if (cmd == "report") return cmd_report(argc, argv);
+    if (cmd == "diff") return cmd_diff(argc, argv);
+    if (cmd == "doctor") return cmd_doctor(argc, argv);
+    if (cmd == "program" && argc >= 3) return cmd_program(argv[2]);
+    if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc, argv, argv[2]);
+    if (cmd == "vcd" && argc >= 3) return cmd_vcd(argc, argv, argv[2]);
+  } catch (const std::exception& e) {
+    return print_error(e);
+  }
   bool known = false;
   for (const char* c : kCommands) known = known || cmd == c;
   if (!known) {
