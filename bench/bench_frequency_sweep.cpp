@@ -75,7 +75,8 @@ int main(int argc, char** argv) {
     for (const auto& p : prepared) {
       framework.set_executor_config(p.executor);
       const auto r = framework.analyze(p.program, p.inputs);
-      report.record(p.spec->name, {{"period_ps", period},
+      report.record(p.spec->name, {{"run_id", r.run_id}},
+                                  {{"period_ps", period},
                                    {"threads", static_cast<double>(rs.threads)},
                                    {"rate_mean", r.estimate.rate_mean()},
                                    {"rate_sd", r.estimate.rate_sd()},

@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
                 r.training_seconds + r.simulation_seconds, mean_pct, sd_pct,
                 r.estimate.dk_lambda, r.estimate.dk_count,
                 100.0 * ts.performance_improvement(r.estimate.rate_mean()));
-    report.record(spec.name, {{"paper_instructions", static_cast<double>(spec.paper_instructions)},
+    report.record(spec.name, {{"run_id", r.run_id}},
+                             {{"paper_instructions", static_cast<double>(spec.paper_instructions)},
                               {"sim_instructions", static_cast<double>(r.instructions)},
                               {"basic_blocks", static_cast<double>(r.basic_blocks)},
                               {"threads", static_cast<double>(rs.threads)},

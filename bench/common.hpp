@@ -13,6 +13,7 @@
 
 #include "core/framework.hpp"
 #include "netlist/pipeline.hpp"
+#include "obs/journal.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "perf/ts_model.hpp"
@@ -83,8 +84,13 @@ inline void hr(int width = 110) {
 /// every run refreshes the perf trajectory; `--json=` (empty value)
 /// disables the file entirely.  Benches without a default stay inert, so
 /// their default stdout is unchanged.  On destruction writes
-///   {"bench": ..., "records": [{...}, ...], "metrics": {...}}
-/// where "metrics" is the process-wide obs::MetricsRegistry snapshot.
+///   {"bench": ..., "records": [{...}, ...], "peak_rss_bytes": N,
+///    "metrics": {...}}
+/// where "metrics" is the process-wide obs::MetricsRegistry snapshot and
+/// "peak_rss_bytes" is the process high-water mark at write time.
+/// Records carry numeric fields plus optional string labels (e.g. the
+/// run_id of the analyze() call behind the row), so trajectory tooling
+/// can join bench rows against journal events.
 class JsonReport {
  public:
   JsonReport(int argc, char** argv, std::string bench_name, std::string default_path = "")
@@ -112,6 +118,12 @@ class JsonReport {
       const auto& rec = records_[i];
       os << "{\"name\":";
       obs::json_string(os, rec.name);
+      for (const auto& [key, value] : rec.labels) {
+        os << ",";
+        obs::json_string(os, key);
+        os << ":";
+        obs::json_string(os, value);
+      }
       for (const auto& [key, value] : rec.fields) {
         os << ",";
         obs::json_string(os, key);
@@ -120,7 +132,9 @@ class JsonReport {
       }
       os << "}";
     }
-    os << "],\"metrics\":";
+    os << "],\"peak_rss_bytes\":";
+    obs::json_number(os, obs::peak_rss_bytes());
+    os << ",\"metrics\":";
     obs::MetricsRegistry::instance().write_json(os);
     os << "}\n";
   }
@@ -129,8 +143,16 @@ class JsonReport {
 
   void record(std::string name,
               std::initializer_list<std::pair<const char*, double>> fields) {
+    record(std::move(name), {}, fields);
+  }
+
+  /// Record with string labels (written before the numeric fields).
+  void record(std::string name,
+              std::initializer_list<std::pair<const char*, std::string>> labels,
+              std::initializer_list<std::pair<const char*, double>> fields) {
     Record rec;
     rec.name = std::move(name);
+    for (const auto& [key, value] : labels) rec.labels.emplace_back(key, value);
     for (const auto& [key, value] : fields) rec.fields.emplace_back(key, value);
     records_.push_back(std::move(rec));
   }
@@ -138,6 +160,7 @@ class JsonReport {
  private:
   struct Record {
     std::string name;
+    std::vector<std::pair<std::string, std::string>> labels;
     std::vector<std::pair<std::string, double>> fields;
   };
   std::string bench_name_;

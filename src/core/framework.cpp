@@ -5,8 +5,10 @@
 
 #include "cache/key.hpp"
 #include "cache/serialize.hpp"
+#include "obs/journal.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_context.hpp"
 #include "obs/trace.hpp"
 #include "robust/degrade.hpp"
 #include "robust/hooks.hpp"
@@ -18,10 +20,6 @@ namespace terrors::core {
 namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
-}
-
-std::uint64_t counter_value(const char* name) {
-  return obs::MetricsRegistry::instance().counter(name).value();
 }
 
 // Degradation policy (DESIGN §5f): the cache is an accelerator, never a
@@ -54,13 +52,20 @@ ErrorRateFramework::ErrorRateFramework(const netlist::Pipeline& pipeline, Framew
     : pipeline_(pipeline), config_(config), vm_(pipeline.netlist, config.variation) {
   obs::ScopedSpan span("framework.init");
 
+  // Component hashes feed both cache keys and run ids, so they are
+  // computed whether or not the cache is enabled.
+  netlist_hash_ = cache::hash_netlist(pipeline_.netlist);
+  variation_hash_ = cache::hash_variation(config_.variation);
+  dts_hash_ = cache::hash_dts_config(config_.dts);
+  charcfg_hash_ = cache::hash_characterizer_config(config_.characterizer);
+
   if (const std::string dir = cache::resolve_cache_dir(config_.cache_dir); !dir.empty()) {
     cache_ = std::make_unique<cache::ArtifactCache>(dir);
-    netlist_hash_ = cache::hash_netlist(pipeline_.netlist);
-    variation_hash_ = cache::hash_variation(config_.variation);
-    dts_hash_ = cache::hash_dts_config(config_.dts);
-    charcfg_hash_ = cache::hash_characterizer_config(config_.characterizer);
     obs::log_info("cache", "artifact cache enabled", {{"dir", dir}});
+  }
+  journal_path_ = obs::resolve_journal_path(config_.journal_path);
+  if (!journal_path_.empty()) {
+    obs::log_info("core", "run journal enabled", {{"path", journal_path_}});
   }
 
   // Datapath-model training is spec-independent (arrival-form parameters),
@@ -117,15 +122,26 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
 
   obs::ScopedSpan span("analyze");
   span.counter("inputs", static_cast<double>(inputs.size()));
+
+  // Run identity (DESIGN §5g): the same inputs at the same ordinal give
+  // the same id, so a run correlates across report, journal, and logs
+  // without any nondeterministic token.
+  const std::uint64_t run_key = cache::combine(
+      {cache::kModelVersion, netlist_hash_, variation_hash_, dts_hash_, charcfg_hash_,
+       cache::hash_spec(config_.spec), cache::hash_program(program), analyze_ordinal_++});
+  obs::RunContext ctx(run_key, program.name());
+  obs::RunContext::Scope run_scope(ctx);
   obs::log_info("core", "analyze start",
-                {{"program", program.name()}, {"inputs", inputs.size()}});
+                {{"program", program.name()},
+                 {"inputs", inputs.size()},
+                 {"run", ctx.id()}});
 
   BenchmarkResult result;
   result.name = program.name();
+  result.run_id = ctx.id();
   result.basic_blocks = program.block_count();
 
-  const std::uint64_t hits_before = counter_value("cache.hits");
-  const std::uint64_t misses_before = counter_value("cache.misses");
+  const support::ThreadPool::Stats pool_before = support::global_pool().stats();
 
   last_ = Artifacts{};
   last_.cfg = std::make_unique<isa::Cfg>(program);
@@ -137,6 +153,7 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
     const auto t0 = std::chrono::steady_clock::now();
     for (const auto& in : inputs) last_.executor->run(in);
     result.simulation_seconds = seconds_since(t0);
+    ctx.set_phase_seconds("simulation", result.simulation_seconds);
     phase.counter("instructions",
                   static_cast<double>(last_.executor->profile().total_instructions));
   }
@@ -210,6 +227,7 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
       }
     }
     result.training_seconds = seconds_since(t0);
+    ctx.set_phase_seconds("training", result.training_seconds);
   }
   obs::log_info("core", "training phase done",
                 {{"seconds", result.training_seconds},
@@ -239,6 +257,7 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
     est_in.observer = observer;
     result.estimate = estimate_error_rate(est_in);
     result.estimation_seconds = seconds_since(t0);
+    ctx.set_phase_seconds("estimation", result.estimation_seconds);
   }
   obs::log_info("core", "estimation phase done",
                 {{"seconds", result.estimation_seconds},
@@ -258,14 +277,55 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
     // file byte-identical to builds without the robustness layer.
     if (stats.retries > 0) registry.gauge("pool.retries").set(static_cast<double>(stats.retries));
   }
-  result.cache_hits = counter_value("cache.hits") - hits_before;
-  result.cache_misses = counter_value("cache.misses") - misses_before;
+  result.cache_hits = ctx.metrics().delta("cache.hits");
+  result.cache_misses = ctx.metrics().delta("cache.misses");
   const auto& degradation = robust::DegradationLog::instance();
   result.degraded = degradation.degraded();
   result.degraded_sites = degradation.sites();
   if (result.degraded) {
     obs::log_warn("core", "analysis degraded",
                   {{"sites", static_cast<std::uint64_t>(result.degraded_sites.size())}});
+  }
+
+  // Wide-event journal append (DESIGN §5g).  Strictly observational: the
+  // event is assembled from the finished result, and a failed append
+  // degrades the run like any other peripheral I/O.
+  if (!journal_path_.empty()) {
+    obs::RunEvent event;
+    event.run_id = ctx.id();
+    event.unix_ms = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    event.program = result.name;
+    event.config_hash = obs::format_run_id(
+        cache::combine({cache::kModelVersion, netlist_hash_, variation_hash_, dts_hash_,
+                        charcfg_hash_, cache::hash_spec(config_.spec)}));
+    event.program_hash = obs::format_run_id(cache::hash_program(program));
+    event.period_ps = config_.spec.period_ps;
+    event.threads = support::global_pool().size();
+    event.runs = inputs.size();
+    event.instructions = result.instructions;
+    event.simulation_seconds = result.simulation_seconds;
+    event.training_seconds = result.training_seconds;
+    event.estimation_seconds = result.estimation_seconds;
+    event.counters = ctx.metrics().deltas();
+    const support::ThreadPool::Stats pool_after = support::global_pool().stats();
+    event.pool_tasks = pool_after.tasks - pool_before.tasks;
+    event.pool_retries = pool_after.retries - pool_before.retries;
+    event.lambda_mean = result.estimate.lambda.mean;
+    event.rate_mean = result.estimate.rate_mean();
+    event.rate_sd = result.estimate.rate_sd();
+    event.degraded = result.degraded;
+    event.degraded_sites = result.degraded_sites;
+    event.peak_rss_bytes = obs::peak_rss_bytes();
+    try {
+      obs::append_event(journal_path_, event);
+    } catch (const std::exception& e) {
+      robust::note_degraded("io", "journal append failed: " + std::string(e.what()));
+      result.degraded = degradation.degraded();
+      result.degraded_sites = degradation.sites();
+    }
   }
   return result;
 }

@@ -48,12 +48,21 @@ struct FrameworkConfig {
   /// default) disables caching; the TERRORS_CACHE_DIR environment
   /// variable is honoured when this is empty (see cache::resolve_cache_dir).
   std::string cache_dir;
+  /// Run-journal file: one wide JSONL event is appended per analyze()
+  /// call (DESIGN §5g). Empty (the default) consults TERRORS_JOURNAL and
+  /// disables journaling when that is unset too. Journal appends are a
+  /// peripheral: a failed write degrades the run, never fails it.
+  std::string journal_path;
 };
 
 /// Full per-benchmark analysis result (one Table 2 row plus the Figure 3
 /// distribution accessors through `estimate`).
 struct BenchmarkResult {
   std::string name;
+  /// Deterministic 16-hex run id (obs::RunContext): identical framework
+  /// inputs + program + analyze ordinal give identical ids, so reports
+  /// and journal events from the same logical run correlate byte-stably.
+  std::string run_id;
   std::uint64_t instructions = 0;  ///< simulated dynamic instructions (all runs)
   std::size_t basic_blocks = 0;
   double training_seconds = 0.0;
@@ -123,6 +132,11 @@ class ErrorRateFramework {
   /// The path artifact is consulted/stored at most once per framework:
   /// after the first characterisation the enumerator already holds the set.
   bool paths_cache_checked_ = false;
+  /// Resolved journal path ("" = journaling off), fixed at construction.
+  std::string journal_path_;
+  /// Per-framework analyze() ordinal folded into the run key, so repeated
+  /// analyses of the same program get distinct (still deterministic) ids.
+  std::uint64_t analyze_ordinal_ = 0;
   std::unique_ptr<dta::DatapathModel> datapath_;
   std::unique_ptr<dta::ControlCharacterizer> characterizer_;
   Artifacts last_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace terrors::obs {
 
@@ -42,8 +43,13 @@ void json_number(std::ostream& os, double v) {
     os << "null";
     return;
   }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  // Shortest representation that round-trips: journal consumers compare
+  // parsed values against live BenchmarkResult fields bit-for-bit.
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
   os << buf;
 }
 

@@ -24,6 +24,7 @@ void Histogram::reservoir_observe(double v) {
 }
 
 double Histogram::quantile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (reservoir_.empty()) return 0.0;
   std::vector<double> sorted = reservoir_;
   std::sort(sorted.begin(), sorted.end());
@@ -69,6 +70,13 @@ void MetricsRegistry::reset() {
 std::size_t MetricsRegistry::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counter_values() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out.emplace(name, c.value());
+  return out;
 }
 
 void MetricsRegistry::write_json(std::ostream& os) const {

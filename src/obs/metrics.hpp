@@ -14,8 +14,17 @@
 //   cycles.increment();
 //
 // Registration is mutex-protected and handles are stable for the process
-// lifetime; increments themselves are lock-free.  Histograms and gauges
-// are not thread-safe (the pipeline is single-threaded today).
+// lifetime; increments themselves are lock-free.  All three metric kinds
+// are safe under the PR-2 thread pool: counters and gauges are relaxed
+// atomics (gauge add() is a CAS loop), histograms serialise observe()
+// behind a per-histogram mutex — they sit off the per-cycle hot paths
+// (cache load/store timings, solver residuals), so a short critical
+// section is cheaper than sharding.
+//
+// Per-run views are layered on top by obs::RunContext / MetricsScope
+// (run_context.hpp): the registry can snapshot every counter, and a scope
+// deltas the snapshot against live values — process-lifetime handles stay
+// lock-free while `terrors serve`-style callers get per-request numbers.
 #pragma once
 
 #include <atomic>
@@ -43,12 +52,19 @@ class Counter {
 
 class Gauge {
  public:
-  void set(double v) { value_ = v; }
-  [[nodiscard]] double value() const { return value_; }
-  void reset() { value_ = 0.0; }
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Atomic read-modify-write (CAS loop): pool workers may adjust the
+  /// same gauge concurrently without losing updates.
+  void add(double by) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + by, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 class Histogram {
@@ -59,10 +75,17 @@ class Histogram {
   static constexpr std::size_t kReservoirDepth = 64;
 
   void observe(double v) {
+    std::lock_guard<std::mutex> lock(mutex_);
     acc_.add(v);
     reservoir_observe(v);
   }
-  [[nodiscard]] const support::MomentAccumulator& stats() const { return acc_; }
+  /// Consistent copy of the moment statistics (mutex-guarded: concurrent
+  /// observe() calls from pool workers never expose a half-updated
+  /// accumulator to a reader).
+  [[nodiscard]] support::MomentAccumulator stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return acc_;
+  }
 
   /// Quantile estimate over the reservoir (nearest-rank, matching
   /// stat::Samples::quantile); 0 when nothing was observed.  Exact for
@@ -72,9 +95,13 @@ class Histogram {
   [[nodiscard]] double quantile(double p) const;
 
   /// Reservoir snapshot (unsorted, stream order), for tests.
-  [[nodiscard]] const std::vector<double>& reservoir() const { return reservoir_; }
+  [[nodiscard]] std::vector<double> reservoir() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reservoir_;
+  }
 
   void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
     acc_.reset();
     reservoir_.clear();
     stride_ = 1;
@@ -84,9 +111,10 @@ class Histogram {
  private:
   /// Deterministic systematic sampling: keep every stride_-th observation;
   /// when the buffer fills, drop every other kept sample and double the
-  /// stride.  No RNG, so replays are bit-reproducible.
+  /// stride.  No RNG, so replays are bit-reproducible.  Caller holds mutex_.
   void reservoir_observe(double v);
 
+  mutable std::mutex mutex_;  ///< guards acc_ + reservoir state as one unit
   support::MomentAccumulator acc_;
   std::vector<double> reservoir_;
   std::uint64_t stride_ = 1;
@@ -106,6 +134,10 @@ class MetricsRegistry {
   void reset();
   /// Total number of registered metrics across the three kinds.
   [[nodiscard]] std::size_t size() const;
+
+  /// Point-in-time snapshot of every registered counter, for per-run
+  /// delta views (obs::MetricsScope).  Names are sorted (std::map).
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const;
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,...}}}
   /// Histogram entries include reservoir quantiles p50/p95/p99.

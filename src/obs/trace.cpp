@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "support/check.hpp"
 
 namespace terrors::obs {
@@ -24,11 +25,34 @@ void Tracer::reset() {
   nodes_.clear();
   stacks_.clear();
   tids_.clear();
+  dropped_ = 0;
+}
+
+void Tracer::set_span_limit(std::size_t limit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  limit_ = limit;
+}
+
+std::size_t Tracer::span_limit() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limit_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
 }
 
 std::size_t Tracer::begin_span(std::string_view name) {
   const std::uint64_t start = now_ns();
   std::lock_guard<std::mutex> lock(mutex_);
+  if (nodes_.size() >= limit_) {
+    ++dropped_;
+    // Resolved once: the registry handle is stable for the process.
+    static Counter& dropped_metric = MetricsRegistry::instance().counter("trace.dropped");
+    dropped_metric.increment();
+    return kDroppedSpan;
+  }
   const std::thread::id self = std::this_thread::get_id();
   auto [tid_it, fresh] = tids_.try_emplace(self, static_cast<std::uint32_t>(tids_.size()));
   auto& stack = stacks_[self];
@@ -44,6 +68,7 @@ std::size_t Tracer::begin_span(std::string_view name) {
 }
 
 void Tracer::end_span(std::size_t index) {
+  if (index == kDroppedSpan) return;
   const std::uint64_t end = now_ns();
   std::lock_guard<std::mutex> lock(mutex_);
   TE_REQUIRE(index < nodes_.size(), "end_span on unknown span");
@@ -55,6 +80,7 @@ void Tracer::end_span(std::size_t index) {
 }
 
 void Tracer::span_counter(std::size_t index, std::string_view key, double value) {
+  if (index == kDroppedSpan) return;
   std::lock_guard<std::mutex> lock(mutex_);
   TE_REQUIRE(index < nodes_.size(), "span_counter on unknown span");
   auto& counters = nodes_[index].counters;
@@ -65,6 +91,28 @@ void Tracer::span_counter(std::size_t index, std::string_view key, double value)
     }
   }
   counters.emplace_back(std::string(key), value);
+}
+
+std::vector<std::vector<std::string>> Tracer::open_span_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Order stacks by tid so two samples of the same state agree exactly.
+  std::vector<std::pair<std::uint32_t, const std::vector<std::size_t>*>> ordered;
+  ordered.reserve(stacks_.size());
+  for (const auto& [thread, stack] : stacks_) {
+    if (stack.empty()) continue;
+    ordered.emplace_back(tids_.at(thread), &stack);
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::vector<std::string>> out;
+  out.reserve(ordered.size());
+  for (const auto& [tid, stack] : ordered) {
+    std::vector<std::string> names;
+    names.reserve(stack->size());
+    for (const std::size_t index : *stack) names.push_back(nodes_[index].name);
+    out.push_back(std::move(names));
+  }
+  return out;
 }
 
 void Tracer::write_chrome_trace(std::ostream& os) const {
@@ -95,7 +143,9 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
     }
     os << "}";
   }
-  os << "],\"displayTimeUnit\":\"ms\"}\n";
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"droppedSpans\":";
+  json_number(os, dropped_);
+  os << "}}\n";
 }
 
 void Tracer::write_text_tree(std::ostream& os) const {

@@ -21,6 +21,13 @@
 // Chrome export); within a thread spans must strictly nest, which RAII
 // enforces.  begin/end/counter are mutex-protected — tracing is opt-in
 // profiling, so the lock is acceptable and keeps worker spans readable.
+//
+// The span buffer is bounded (set_span_limit / --trace-limit, default
+// 1M spans): once full, new spans are counted in dropped() and the
+// `trace.dropped` metric instead of recorded, so long-running or served
+// processes cannot grow memory without bound.  The per-thread open-span
+// stacks stay consistent either way, which is what the span-sampling
+// profiler (obs/profiler.hpp) walks via open_span_names().
 #pragma once
 
 #include <atomic>
@@ -51,11 +58,24 @@ class Tracer {
     std::vector<std::pair<std::string, double>> counters;
   };
   static constexpr std::size_t kNoParent = static_cast<std::size_t>(-1);
+  /// Sentinel index returned by begin_span once the buffer is full; the
+  /// matching end_span / span_counter calls are no-ops.
+  static constexpr std::size_t kDroppedSpan = static_cast<std::size_t>(-2);
+  /// Default span cap: generous for any CLI run, finite for a daemon.
+  static constexpr std::size_t kDefaultSpanLimit = std::size_t{1} << 20;
 
   void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
   [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Drop all recorded spans (keeps the enabled flag).
+  /// Cap the recorded-span buffer (existing spans are kept even if over a
+  /// newly lowered cap; only future begin_span calls are affected).
+  void set_span_limit(std::size_t limit);
+  [[nodiscard]] std::size_t span_limit() const;
+  /// Spans discarded because the buffer was full (since last reset()).
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Drop all recorded spans and the dropped count (keeps the enabled
+  /// flag and the span limit).
   void reset();
 
   /// Low-level span API; prefer ScopedSpan.
@@ -64,6 +84,11 @@ class Tracer {
   void span_counter(std::size_t index, std::string_view key, double value);
 
   [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  /// Snapshot of the currently-open span names, one stack per recording
+  /// thread (outermost first), ordered by tid.  This is the span-sampling
+  /// profiler's view: it never touches closed spans, so sampling cost is
+  /// one mutex acquisition plus a name copy per open span.
+  [[nodiscard]] std::vector<std::vector<std::string>> open_span_names() const;
   /// Nanoseconds since the tracer's epoch (steady clock).
   [[nodiscard]] std::uint64_t now_ns() const;
 
@@ -78,7 +103,9 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mutex_;  ///< guards nodes_, stacks_, tids_
+  mutable std::mutex mutex_;  ///< guards nodes_, stacks_, tids_, limit_, dropped_
+  std::size_t limit_ = kDefaultSpanLimit;
+  std::uint64_t dropped_ = 0;
   std::vector<Node> nodes_;
   /// Open-span stack per recording thread; spans nest within a thread.
   std::unordered_map<std::thread::id, std::vector<std::size_t>> stacks_;

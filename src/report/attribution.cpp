@@ -40,6 +40,7 @@ RunReport AttributionCollector::build(core::ErrorRateFramework& fw, const isa::P
 
   RunReport r;
   r.program = result.name;
+  r.run_id = result.run_id;
   r.period_ps = spec.period_ps;
   r.threads = config_.threads;
   r.runs = profile.runs;

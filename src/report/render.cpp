@@ -16,6 +16,7 @@ void write_text(const RunReport& r, std::ostream& os, std::size_t top_n) {
   const std::ios_base::fmtflags flags = os.flags();
   os << "run report (schema v" << r.schema_version << "): " << r.program << "\n";
   rule(os);
+  if (!r.run_id.empty()) os << "  run id          " << r.run_id << "\n";
   os << std::scientific << std::setprecision(4);
   os << "  error rate      " << r.rate_mean << " +/- " << r.rate_sd << "\n";
   os << "  lambda          " << r.lambda_mean << " +/- " << r.lambda_sd << "\n";

@@ -87,6 +87,10 @@ void RunReport::write_json(std::ostream& os) const {
   json_number(os, static_cast<std::uint64_t>(schema_version));
   os << ",\"program\":";
   json_string(os, program);
+  if (!run_id.empty()) {
+    os << ",\"run_id\":";
+    json_string(os, run_id);
+  }
   os << ",\"period_ps\":";
   json_number(os, period_ps);
   os << ",\"threads\":";
@@ -295,6 +299,7 @@ RunReport RunReport::from_json(const JsonValue& doc) {
   RunReport r;
   r.schema_version = version;
   r.program = doc.at("program").as_string();
+  if (const JsonValue* rid = doc.find("run_id")) r.run_id = rid->as_string();
   r.period_ps = doc.get_number("period_ps");
   r.threads = static_cast<std::size_t>(doc.get_uint("threads", 1));
   r.runs = doc.get_uint("runs");

@@ -4,6 +4,7 @@
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_context.hpp"
 
 namespace terrors::robust {
 
@@ -37,8 +38,17 @@ void DegradationLog::note(std::string_view site, std::string_view detail) {
     }
   }
   if (first) {
-    obs::log_warn("robust", "degraded mode: serving best-effort result",
-                  {{"site", std::string(site)}, {"detail", std::string(detail)}});
+    // Tag the warning with the active run so a shared log file attributes
+    // degradation to the analyze() call that suffered it.
+    if (const std::string run = obs::current_run_id(); !run.empty()) {
+      obs::log_warn("robust", "degraded mode: serving best-effort result",
+                    {{"site", std::string(site)},
+                     {"detail", std::string(detail)},
+                     {"run", run}});
+    } else {
+      obs::log_warn("robust", "degraded mode: serving best-effort result",
+                    {{"site", std::string(site)}, {"detail", std::string(detail)}});
+    }
   }
 }
 

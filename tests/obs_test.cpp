@@ -1,15 +1,23 @@
 // Tests for the observability layer: tracer span nesting and timing,
 // metrics registry semantics (histograms vs MomentAccumulator), JSON
-// exporter well-formedness, and log-level filtering.
+// exporter well-formedness, log-level filtering, metric thread safety,
+// run-scoped metric views (RunContext / MetricsScope), the tracer span
+// cap, and the span-sampling profiler's folded-stack machinery.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/run_context.hpp"
 #include "obs/trace.hpp"
 #include "support/accumulator.hpp"
 
@@ -427,6 +435,212 @@ TEST(JsonHelpersTest, NonFiniteNumbersBecomeNull) {
   os << " ";
   obs::json_number(os, std::numeric_limits<double>::infinity());
   EXPECT_EQ(os.str(), "null null");
+}
+
+// All three metric kinds must tolerate concurrent mutation: pool workers
+// increment counters and observe histograms from inside parallel_for
+// regions.  Run under TSan (CI thread-sanitizer job) this is the data-race
+// proof; under plain builds it still checks the arithmetic.
+TEST(MetricsTest, ConcurrentMutationIsSafeAndExact) {
+  auto& reg = obs::MetricsRegistry::instance();
+  auto& c = reg.counter("test.concurrent_counter");
+  auto& g = reg.gauge("test.concurrent_gauge");
+  auto& h = reg.histogram("test.concurrent_hist");
+  c.reset();
+  g.reset();
+  h.reset();
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 10'000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.increment();
+        g.add(1.0);
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  // Gauge adds are CAS loops over an atomic double: every +1.0 lands.
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads) * kIters);
+  EXPECT_EQ(h.stats().count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_DOUBLE_EQ(h.stats().mean(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST_F(TracerTest, SpanLimitDropsExcessAndCountsThem) {
+  auto& tracer = obs::Tracer::instance();
+  auto& dropped_metric = obs::MetricsRegistry::instance().counter("trace.dropped");
+  const std::uint64_t dropped_before = dropped_metric.value();
+  tracer.set_span_limit(2);
+  {
+    obs::ScopedSpan a("kept_a");
+    { obs::ScopedSpan b("kept_b"); }
+    { obs::ScopedSpan c("dropped_c"); }  // over the cap
+  }
+  EXPECT_EQ(tracer.nodes().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  EXPECT_EQ(dropped_metric.value(), dropped_before + 1);
+
+  // The Chrome export advertises the loss so a truncated trace is never
+  // mistaken for a complete one.
+  std::ostringstream os;
+  tracer.write_chrome_trace(os);
+  EXPECT_TRUE(JsonValidator(os.str()).valid()) << os.str();
+  EXPECT_NE(os.str().find("\"droppedSpans\":1"), std::string::npos) << os.str();
+
+  tracer.set_span_limit(obs::Tracer::kDefaultSpanLimit);
+}
+
+TEST_F(TracerTest, OpenSpanNamesSeesLiveStacksOnly) {
+  obs::ScopedSpan outer("outer_live");
+  obs::ScopedSpan inner("inner_live");
+  const auto stacks = obs::Tracer::instance().open_span_names();
+  ASSERT_EQ(stacks.size(), 1u);
+  ASSERT_EQ(stacks[0].size(), 2u);
+  EXPECT_EQ(stacks[0][0], "outer_live");
+  EXPECT_EQ(stacks[0][1], "inner_live");
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(RunContextTest, FormatRunIdIsSixteenHexDigits) {
+  EXPECT_EQ(obs::format_run_id(0), "0000000000000000");
+  EXPECT_EQ(obs::format_run_id(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(obs::format_run_id(~0ULL), "ffffffffffffffff");
+}
+
+TEST(RunContextTest, MetricsScopeDeltasAgainstSnapshot) {
+  auto& reg = obs::MetricsRegistry::instance();
+  auto& c = reg.counter("test.scope_counter");
+  c.reset();
+  c.increment(5);
+
+  const obs::MetricsScope scope(reg);
+  EXPECT_EQ(scope.delta("test.scope_counter"), 0u);
+  c.increment(3);
+  EXPECT_EQ(scope.delta("test.scope_counter"), 3u);
+
+  // deltas() reports only counters that moved, by name.
+  const auto all = scope.deltas();
+  const auto it = all.find("test.scope_counter");
+  ASSERT_NE(it, all.end());
+  EXPECT_EQ(it->second, 3u);
+  // A counter registered after the snapshot deltas against zero.
+  reg.counter("test.scope_late").increment(2);
+  EXPECT_EQ(scope.delta("test.scope_late"), 2u);
+  reg.counter("test.scope_late").reset();
+}
+
+TEST(RunContextTest, ScopeInstallsAndRestoresNested) {
+  EXPECT_EQ(obs::RunContext::current(), nullptr);
+  EXPECT_EQ(obs::current_run_id(), "");
+
+  obs::RunContext outer(0x1111, "outer");
+  {
+    obs::RunContext::Scope s1(outer);
+    EXPECT_EQ(obs::RunContext::current(), &outer);
+    EXPECT_EQ(obs::current_run_id(), outer.id());
+
+    obs::RunContext inner(0x2222, "inner");
+    {
+      obs::RunContext::Scope s2(inner);
+      EXPECT_EQ(obs::current_run_id(), inner.id());
+    }
+    EXPECT_EQ(obs::RunContext::current(), &outer);
+  }
+  EXPECT_EQ(obs::RunContext::current(), nullptr);
+}
+
+TEST(RunContextTest, PhaseSecondsOverwriteByName) {
+  obs::RunContext ctx(1, "phases");
+  ctx.set_phase_seconds("simulation", 1.0);
+  ctx.set_phase_seconds("training", 2.0);
+  ctx.set_phase_seconds("simulation", 3.0);  // re-record wins
+  ASSERT_EQ(ctx.phases().size(), 2u);
+  EXPECT_EQ(ctx.phases()[0].first, "simulation");
+  EXPECT_DOUBLE_EQ(ctx.phases()[0].second, 3.0);
+  EXPECT_EQ(ctx.phases()[1].first, "training");
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ProfilerTest, FoldedRoundTripAndHotspots) {
+  std::istringstream in(
+      "analyze;training;dta.block 40\n"
+      "analyze;training 10\n"
+      "analyze;estimation 5\n"
+      "\n"
+      "framework.init 2\n");
+  const auto folded = obs::parse_folded(in);
+  ASSERT_EQ(folded.size(), 4u);
+  EXPECT_EQ(folded.at("analyze;training;dta.block"), 40u);
+
+  const auto spots = obs::hotspots_from_folded(folded);
+  ASSERT_FALSE(spots.empty());
+  // "analyze" is on 3 stacks (40+10+5 inclusive) but never the leaf.
+  EXPECT_EQ(spots[0].name, "analyze");
+  EXPECT_EQ(spots[0].inclusive, 55u);
+  EXPECT_EQ(spots[0].exclusive, 0u);
+  // "training" is a leaf on one stack only.
+  const auto training = std::find_if(spots.begin(), spots.end(),
+                                     [](const auto& s) { return s.name == "training"; });
+  ASSERT_NE(training, spots.end());
+  EXPECT_EQ(training->inclusive, 50u);
+  EXPECT_EQ(training->exclusive, 10u);
+}
+
+TEST(ProfilerTest, ParseFoldedRejectsMalformedLines) {
+  {
+    std::istringstream in("no_count_here\n");
+    EXPECT_THROW(obs::parse_folded(in), std::runtime_error);
+  }
+  {
+    std::istringstream in("stack notanumber\n");
+    EXPECT_THROW(obs::parse_folded(in), std::runtime_error);
+  }
+}
+
+TEST_F(TracerTest, ProfilerSamplesOnlyTracerSpanNames) {
+  auto& profiler = obs::SpanProfiler::instance();
+  profiler.reset();
+  profiler.start({/*interval_us=*/200});
+  {
+    obs::ScopedSpan outer("prof_outer");
+    obs::ScopedSpan inner("prof_inner");
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  profiler.stop();
+  EXPECT_GT(profiler.samples(), 0u);
+
+  const auto folded = profiler.folded();
+  ASSERT_FALSE(folded.empty());
+  // Every sampled frame is a name the tracer recorded — no synthesized
+  // frames, no signal-unwound addresses.
+  for (const auto& [stack, count] : folded) {
+    EXPECT_GT(count, 0u);
+    std::size_t start = 0;
+    while (start <= stack.size()) {
+      const std::size_t semi = stack.find(';', start);
+      const std::string frame =
+          semi == std::string::npos ? stack.substr(start) : stack.substr(start, semi - start);
+      EXPECT_TRUE(frame == "prof_outer" || frame == "prof_inner") << stack;
+      if (semi == std::string::npos) break;
+      start = semi + 1;
+    }
+  }
+  // write_folded emits parseable folded-stack text that round-trips.
+  std::ostringstream os;
+  profiler.write_folded(os);
+  std::istringstream in(os.str());
+  EXPECT_EQ(obs::parse_folded(in), folded);
+  profiler.reset();
 }
 
 // ---------------------------------------------------------------------------

@@ -7,9 +7,14 @@
 //   terrors report <file> [--top N]      render a run-report JSON file
 //   terrors diff <old> <new>             regression gate over two run reports
 //   terrors analyze <name> [--period P] [--scale S] [--runs R] [--threads T]
-//                   [--trace F] [--trace-tree] [--metrics F] [--metrics-prom F]
-//                   [--report F] [--report-mc N] [--log-level L]
+//                   [--trace F] [--trace-tree] [--trace-limit N]
+//                   [--metrics F] [--metrics-prom F] [--report F]
+//                   [--report-mc N] [--journal F] [--profile F]
+//                   [--profile-interval-us U] [--log-level L]
 //                   [--cache-dir D]      full error-rate analysis row
+//   terrors stats <journal>              aggregate a run-journal JSONL file
+//   terrors tail <journal> [--n N]       render the newest journal events
+//   terrors profile <folded> [--top N]   hotspot table from folded stacks
 //   terrors vcd <name> [--cycles N]      VCD dump of a benchmark window
 //   terrors doctor [--cache-dir D]       environment self-test
 //
@@ -29,12 +34,14 @@
 #include "core/framework.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "dta/pipeline_driver.hpp"
 #include "netlist/pipeline.hpp"
 #include "perf/ts_model.hpp"
 #include "report/attribution.hpp"
 #include "report/diff.hpp"
+#include "report/journal_stats.hpp"
 #include "report/render.hpp"
 #include "report/run_report.hpp"
 #include "robust/degrade.hpp"
@@ -236,10 +243,14 @@ int cmd_analyze(int argc, char** argv, const char* name) {
                     {"--threads", true},
                     {"--trace", true},
                     {"--trace-tree", false},
+                    {"--trace-limit", true},
                     {"--metrics", true},
                     {"--metrics-prom", true},
                     {"--report", true},
                     {"--report-mc", true},
+                    {"--journal", true},
+                    {"--profile", true},
+                    {"--profile-interval-us", true},
                     {"--log-level", true},
                     {"--cache-dir", true},
                     {"--inject-faults", true},
@@ -268,13 +279,28 @@ int cmd_analyze(int argc, char** argv, const char* name) {
     }
     obs::Logger::instance().set_level(*lvl);
   }
-  const bool tracing = flags.count("--trace") != 0 || flags.count("--trace-tree") != 0;
+  if (const auto it = flags.find("--trace-limit"); it != flags.end()) {
+    obs::Tracer::instance().set_span_limit(
+        static_cast<std::size_t>(std::stoull(it->second)));
+  }
+  // The profiler samples the tracer's open-span stacks, so --profile
+  // implies tracing even without a --trace output file.
+  const bool profiling = flags.count("--profile") != 0;
+  const bool tracing =
+      flags.count("--trace") != 0 || flags.count("--trace-tree") != 0 || profiling;
   if (tracing) obs::Tracer::instance().set_enabled(true);
+  if (profiling) {
+    obs::ProfilerOptions popt;
+    popt.interval_us =
+        static_cast<std::uint64_t>(num_flag(flags, "--profile-interval-us", 1000));
+    obs::SpanProfiler::instance().start(popt);
+  }
 
   core::FrameworkConfig cfg;
   cfg.spec = timing::TimingSpec{period};
   cfg.execution_scale = 1.0 / scale;
   if (const auto it = flags.find("--cache-dir"); it != flags.end()) cfg.cache_dir = it->second;
+  if (const auto it = flags.find("--journal"); it != flags.end()) cfg.journal_path = it->second;
   const bool want_report = flags.count("--report") != 0;
   const auto mc_trials = static_cast<std::size_t>(num_flag(flags, "--report-mc", 0));
   core::ErrorRateFramework framework(pipe(), cfg);
@@ -293,11 +319,16 @@ int cmd_analyze(int argc, char** argv, const char* name) {
     r = framework.analyze(program, workloads::generate_inputs(*spec, runs, 2026),
                           want_report ? &collector : nullptr);
   } catch (const std::exception& e) {
+    if (profiling) obs::SpanProfiler::instance().stop();
     return print_error(e);
   }
+  // Stop sampling before the peripheral writes: the folded stacks should
+  // cover the analysis, not the file I/O after it.
+  if (profiling) obs::SpanProfiler::instance().stop();
   const perf::TsProcessorModel ts;
   std::printf("%s @ %.1f MHz (scale %.0e, %zu runs)\n", spec->name.c_str(),
               cfg.spec.frequency_mhz(), scale, runs);
+  std::printf("  run id           : %s\n", r.run_id.c_str());
   std::printf("  instructions     : %llu simulated\n",
               static_cast<unsigned long long>(r.instructions));
   std::printf("  error rate       : %.4f %% (SD %.4f %%)\n", 100.0 * r.estimate.rate_mean(),
@@ -351,6 +382,10 @@ int cmd_analyze(int argc, char** argv, const char* name) {
                [](std::ostream& out) { obs::Tracer::instance().write_chrome_trace(out); });
   }
   if (flags.count("--trace-tree") != 0) obs::Tracer::instance().write_text_tree(std::cerr);
+  if (const auto it = flags.find("--profile"); it != flags.end()) {
+    peripheral("profile", it->second,
+               [](std::ostream& out) { obs::SpanProfiler::instance().write_folded(out); });
+  }
   if (want_report) {
     const std::string& path = flags.at("--report");
     try {
@@ -371,6 +406,69 @@ int cmd_analyze(int argc, char** argv, const char* name) {
                [](std::ostream& out) { obs::MetricsRegistry::instance().write_prometheus(out); });
   }
   return peripheral_rc;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    std::fprintf(stderr, "usage: terrors stats <journal.jsonl>\n");
+    return 1;
+  }
+  std::map<std::string, std::string> flags;
+  if (!parse_flags(argc, argv, 3, {}, flags)) return 1;
+  try {
+    const auto events = report::load_journal(argv[2]);
+    report::write_stats_text(report::aggregate(events), std::cout);
+  } catch (const std::exception& e) {
+    return print_error(e);
+  }
+  return 0;
+}
+
+int cmd_tail(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    std::fprintf(stderr, "usage: terrors tail <journal.jsonl> [--n N]\n");
+    return 1;
+  }
+  std::map<std::string, std::string> flags;
+  if (!parse_flags(argc, argv, 3, {{"--n", true}}, flags)) return 1;
+  const auto n = static_cast<std::size_t>(num_flag(flags, "--n", 10));
+  try {
+    const auto events = report::load_journal(argv[2]);
+    report::write_tail_text(events, n, std::cout);
+  } catch (const std::exception& e) {
+    return print_error(e);
+  }
+  return 0;
+}
+
+int cmd_profile(int argc, char** argv) {
+  if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+    std::fprintf(stderr, "usage: terrors profile <folded.txt> [--top N]\n");
+    return 1;
+  }
+  std::map<std::string, std::string> flags;
+  if (!parse_flags(argc, argv, 3, {{"--top", true}}, flags)) return 1;
+  const auto top = static_cast<std::size_t>(num_flag(flags, "--top", 15));
+  const std::string path = argv[2];
+  try {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      robust::raise(robust::Category::kResource, "cannot open folded stacks '" + path + "'");
+    }
+    std::map<std::string, std::uint64_t> folded;
+    try {
+      folded = obs::parse_folded(in);
+    } catch (const robust::Error&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw robust::Error::wrap("load folded stacks '" + path + "'", e,
+                                robust::Category::kArtifact);
+    }
+    obs::write_hotspots(folded, std::cout, top);
+  } catch (const std::exception& e) {
+    return print_error(e);
+  }
+  return 0;
 }
 
 int cmd_doctor(int argc, char** argv) {
@@ -461,7 +559,7 @@ int cmd_vcd(int argc, char** argv, const char* name) {
 }
 
 constexpr const char* kCommands[] = {"info", "list", "program", "report", "diff", "analyze",
-                                     "vcd", "doctor"};
+                                     "stats", "tail", "profile", "vcd", "doctor"};
 
 void usage() {
   std::fputs(
@@ -479,16 +577,25 @@ void usage() {
       "          [--threads T]         worker threads (0 = all cores; or TERRORS_THREADS)\n"
       "          [--trace FILE]        write a Chrome trace_event JSON phase tree\n"
       "          [--trace-tree]        print the phase tree to stderr\n"
+      "          [--trace-limit N]     cap recorded spans; excess increments trace.dropped\n"
       "          [--metrics FILE]      write the metrics registry as JSON\n"
       "          [--metrics-prom FILE] write the metrics in Prometheus text format\n"
       "          [--report FILE]       write the error-attribution run report (JSON)\n"
       "          [--report-mc N]       add an N-trial Monte-Carlo cross-check\n"
+      "          [--journal FILE]      append a wide run event (JSONL; or TERRORS_JOURNAL)\n"
+      "          [--profile FILE]      sample span stacks; write folded stacks for\n"
+      "                                flamegraph.pl / speedscope\n"
+      "          [--profile-interval-us U] sampling period (default 1000)\n"
       "          [--log-level LVL]     error|warn|info|debug|trace (default off)\n"
       "          [--cache-dir DIR]     content-addressed artifact cache (or\n"
       "                                TERRORS_CACHE_DIR; off by default)\n"
       "          [--inject-faults SPEC] arm a deterministic fault plan (or\n"
       "                                TERRORS_FAULTS), e.g. cache.read:prob=1:seed=7\n"
       "          [--strict]            fail on peripheral write errors\n"
+      "  stats <journal>               aggregate a run journal (phase p50/p95, cache,\n"
+      "                                per-program last-vs-typical)\n"
+      "  tail <journal> [--n N]        render the newest N journal events (default 10)\n"
+      "  profile <folded> [--top N]    hotspot table from a folded-stack file\n"
       "  vcd <name> [--cycles N]       dump a VCD window to stdout\n"
       "  doctor [--cache-dir D]        self-test the environment; category exit codes\n"
       "flags accept both '--flag value' and '--flag=value'\n"
@@ -519,6 +626,9 @@ int main(int argc, char** argv) {
     if (cmd == "list") return cmd_list();
     if (cmd == "report") return cmd_report(argc, argv);
     if (cmd == "diff") return cmd_diff(argc, argv);
+    if (cmd == "stats") return cmd_stats(argc, argv);
+    if (cmd == "tail") return cmd_tail(argc, argv);
+    if (cmd == "profile") return cmd_profile(argc, argv);
     if (cmd == "doctor") return cmd_doctor(argc, argv);
     if (cmd == "program" && argc >= 3) return cmd_program(argv[2]);
     if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc, argv, argv[2]);
