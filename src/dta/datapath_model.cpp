@@ -113,6 +113,11 @@ DatapathModel DatapathModel::train(const netlist::Pipeline& pipeline,
                                    const timing::VariationModel& vm,
                                    const DtsConfig& dts_config) {
   obs::ScopedSpan span("dta.datapath_train");
+  // Counted so warm-start layers (cache, `terrors serve`) can assert how
+  // many times training was actually paid.
+  static obs::Counter& trainings =
+      obs::MetricsRegistry::instance().counter("dta.datapath_trainings");
+  trainings.increment();
   // The spec used for training only shifts slack by a constant; we store
   // arrival statistics (period - setup - slack) so it cancels out.
   const timing::TimingSpec spec{10000.0, netlist::kSetupTimePs};

@@ -1,10 +1,21 @@
 #include "obs/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
+#include <system_error>
 
 namespace terrors::obs {
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  double v = 0.0;
+  const char* first = text.data();
+  const char* last = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, v);
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return v;
+}
 
 void json_string(std::ostream& os, std::string_view s) {
   os << '"';
@@ -44,13 +55,15 @@ void json_number(std::ostream& os, double v) {
     return;
   }
   // Shortest representation that round-trips: journal consumers compare
-  // parsed values against live BenchmarkResult fields bit-for-bit.
+  // parsed values against live BenchmarkResult fields bit-for-bit.  Both
+  // directions must ignore the process locale — snprintf("%g") writes
+  // "3,14" under LC_NUMERIC=de_DE and strtod stops reading at the comma,
+  // so a journal written by one process would fail to round-trip in
+  // another.  std::to_chars emits the C-locale shortest form that
+  // from_chars (parse_double) recovers bit-exactly.
   char buf[40];
-  for (int precision = 15; precision <= 17; ++precision) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  os << buf;
+  const auto r = std::to_chars(buf, buf + sizeof buf, v);
+  os << std::string_view(buf, static_cast<std::size_t>(r.ptr - buf));
 }
 
 void json_number(std::ostream& os, std::uint64_t v) { os << v; }

@@ -7,10 +7,19 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <ostream>
 #include <string_view>
 
 namespace terrors::obs {
+
+/// Parse `text` as a double with the C-locale grammar, independent of the
+/// process locale (std::from_chars, not strtod: under LC_NUMERIC=de_DE a
+/// strtod-based reader stops at the '.' in "3.14" and journals written by
+/// one process stop round-tripping in another).  Returns nullopt unless
+/// the entire input parses.  Bit-exact inverse of json_number(double) for
+/// every finite value.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
 
 /// Write `s` as a quoted JSON string, escaping quotes, backslashes,
 /// control characters, and anything below 0x20 as \uXXXX.

@@ -1,8 +1,8 @@
 #include "report/json_value.hpp"
 
 #include <cmath>
-#include <cstdlib>
 
+#include "obs/json.hpp"
 #include "robust/error.hpp"
 
 namespace terrors::report {
@@ -224,13 +224,14 @@ class JsonParser {
       }
     }
     if (pos_ == start) fail(start, "expected a value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail(start, "malformed number");
+    // Locale-independent: strtod expects the *process* decimal separator,
+    // so under LC_NUMERIC=de_DE it reads "3.14" as 3 and this parser
+    // would reject every fractional number a C-locale writer produced.
+    const auto v = obs::parse_double(text_.substr(start, pos_ - start));
+    if (!v.has_value()) fail(start, "malformed number");
     JsonValue out;
     out.kind_ = JsonValue::Kind::kNumber;
-    out.number_ = v;
+    out.number_ = *v;
     return out;
   }
 

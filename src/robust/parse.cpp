@@ -1,0 +1,45 @@
+#include "robust/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <string>
+#include <system_error>
+
+#include "robust/error.hpp"
+
+namespace terrors::robust {
+
+namespace {
+
+[[noreturn]] void reject(std::string_view what, std::string_view value, std::string_view why) {
+  raise(Category::kInput,
+        std::string(what) + ": " + std::string(why) + " '" + std::string(value) + "'");
+}
+
+}  // namespace
+
+double parse_double_arg(std::string_view what, std::string_view value) {
+  if (value.empty()) reject(what, value, "expected a number, got");
+  double out = 0.0;
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc::result_out_of_range) reject(what, value, "number out of range:");
+  if (ec != std::errc() || ptr != last) reject(what, value, "expected a number, got");
+  if (!std::isfinite(out)) reject(what, value, "expected a finite number, got");
+  return out;
+}
+
+std::uint64_t parse_uint_arg(std::string_view what, std::string_view value) {
+  if (value.empty()) reject(what, value, "expected a non-negative integer, got");
+  if (value.front() == '-') reject(what, value, "expected a non-negative integer, got");
+  std::uint64_t out = 0;
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  if (ec == std::errc::result_out_of_range) reject(what, value, "integer out of range:");
+  if (ec != std::errc() || ptr != last) reject(what, value, "expected a non-negative integer, got");
+  return out;
+}
+
+}  // namespace terrors::robust

@@ -1,0 +1,98 @@
+#include "serve/memory_cache.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace terrors::serve {
+
+namespace {
+
+struct TierMetrics {
+  obs::Counter& hits = obs::MetricsRegistry::instance().counter("serve.mem_cache.hits");
+  obs::Counter& misses = obs::MetricsRegistry::instance().counter("serve.mem_cache.misses");
+  obs::Counter& evictions = obs::MetricsRegistry::instance().counter("serve.mem_cache.evictions");
+  obs::Gauge& bytes = obs::MetricsRegistry::instance().gauge("serve.mem_cache.bytes");
+};
+
+TierMetrics& metrics() {
+  static TierMetrics m;
+  return m;
+}
+
+}  // namespace
+
+MemoryArtifactTier::MemoryArtifactTier(std::size_t capacity_bytes,
+                                       const cache::ArtifactStore* delegate)
+    : capacity_(capacity_bytes), delegate_(delegate) {}
+
+std::string MemoryArtifactTier::entry_id(std::string_view kind, std::uint64_t key) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(key));
+  return std::string(kind) + ":" + hex;
+}
+
+std::optional<std::vector<std::uint8_t>> MemoryArtifactTier::load(std::string_view kind,
+                                                                  std::uint64_t key) const {
+  const std::string id = entry_id(kind, key);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto it = index_.find(id); it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      metrics().hits.increment();
+      return it->second->payload;
+    }
+  }
+  metrics().misses.increment();
+  if (delegate_ == nullptr) return std::nullopt;
+  auto from_disk = delegate_->load(kind, key);
+  if (from_disk.has_value()) {
+    // Promote: the next request for this artifact should not pay the
+    // file read + checksum again.
+    std::lock_guard<std::mutex> lock(mutex_);
+    insert_locked(id, *from_disk);
+  }
+  return from_disk;
+}
+
+void MemoryArtifactTier::store(std::string_view kind, std::uint64_t key,
+                               const std::vector<std::uint8_t>& payload) const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    insert_locked(entry_id(kind, key), payload);
+  }
+  if (delegate_ != nullptr) delegate_->store(kind, key, payload);
+}
+
+void MemoryArtifactTier::insert_locked(const std::string& id,
+                                       const std::vector<std::uint8_t>& payload) const {
+  if (const auto it = index_.find(id); it != index_.end()) {
+    // Content-addressed: same key means same bytes, so a refresh only
+    // touches recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (payload.size() > capacity_) return;  // would evict everything for one entry
+  while (bytes_ + payload.size() > capacity_ && !lru_.empty()) {
+    bytes_ -= lru_.back().payload.size();
+    index_.erase(lru_.back().id);
+    lru_.pop_back();
+    metrics().evictions.increment();
+  }
+  lru_.push_front(Entry{id, payload});
+  index_[id] = lru_.begin();
+  bytes_ += payload.size();
+  metrics().bytes.set(static_cast<double>(bytes_));
+}
+
+std::size_t MemoryArtifactTier::size_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t MemoryArtifactTier::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace terrors::serve

@@ -1,0 +1,76 @@
+// Bounded in-memory LRU artifact tier for `terrors serve` (DESIGN §5h).
+//
+// The on-disk cache::ArtifactCache survives restarts but pays file I/O on
+// every lookup; a long-running daemon mostly re-reads the same few hot
+// artifacts (the shared datapath model, the frozen path set, per-block
+// control DTS tables).  MemoryArtifactTier keeps those in memory under a
+// byte budget, evicting least-recently-used entries, and optionally
+// delegates misses/stores to an underlying store (the disk cache) so the
+// two tiers compose: memory hit → disk hit (promoted) → recompute.
+//
+// Keys are the existing content-addressed cache keys, so correctness is
+// inherited: a payload can only ever be the bytes the key describes, and
+// eviction is purely a performance event.  The tier deliberately uses its
+// own serve.mem_cache.* counters rather than cache.hits/cache.misses —
+// BenchmarkResult.cache_hits deltas the latter, and a served report must
+// stay byte-identical to a cold CLI run (which has no memory tier).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/artifact_cache.hpp"
+
+namespace terrors::serve {
+
+class MemoryArtifactTier final : public cache::ArtifactStore {
+ public:
+  /// `capacity_bytes` bounds the sum of cached payload sizes; a payload
+  /// larger than the whole budget is served but never retained.
+  /// `delegate` (optional, not owned, must outlive the tier) is consulted
+  /// on memory misses and receives every store.
+  explicit MemoryArtifactTier(std::size_t capacity_bytes,
+                              const cache::ArtifactStore* delegate = nullptr);
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> load(std::string_view kind,
+                                                              std::uint64_t key) const override;
+
+  void store(std::string_view kind, std::uint64_t key,
+             const std::vector<std::uint8_t>& payload) const override;
+
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+  /// Current retained payload bytes (test/diagnostic view).
+  [[nodiscard]] std::size_t size_bytes() const;
+  /// Number of retained entries (test/diagnostic view).
+  [[nodiscard]] std::size_t entries() const;
+
+ private:
+  struct Entry {
+    std::string id;  ///< "<kind>:<16-hex-key>"
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Insert-or-refresh under mutex_; evicts from the LRU tail until the
+  /// new entry fits.  Caller holds mutex_.
+  void insert_locked(const std::string& id, const std::vector<std::uint8_t>& payload) const;
+
+  static std::string entry_id(std::string_view kind, std::uint64_t key);
+
+  const std::size_t capacity_;
+  const cache::ArtifactStore* delegate_;
+
+  // The ArtifactStore interface is const (stores are logically read-only
+  // to the analysis); the LRU bookkeeping is interior state behind a lock.
+  mutable std::mutex mutex_;
+  mutable std::list<Entry> lru_;  ///< front = most recently used
+  mutable std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  mutable std::size_t bytes_ = 0;
+};
+
+}  // namespace terrors::serve

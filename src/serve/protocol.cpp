@@ -1,0 +1,140 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "cache/hash.hpp"
+#include "report/json_value.hpp"
+#include "robust/error.hpp"
+#include "workloads/specs.hpp"
+
+namespace terrors::serve {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) { robust::raise(robust::Category::kInput, what); }
+
+double finite_positive(const report::JsonValue& v, const char* field) {
+  const double d = v.as_number();
+  if (!std::isfinite(d) || d <= 0.0) {
+    bad(std::string("request field '") + field + "' must be a finite positive number");
+  }
+  return d;
+}
+
+std::uint64_t bounded_uint(const report::JsonValue& v, const char* field, std::uint64_t max) {
+  const std::uint64_t u = v.as_uint();
+  if (u > max) {
+    bad(std::string("request field '") + field + "' exceeds the limit of " + std::to_string(max));
+  }
+  return u;
+}
+
+}  // namespace
+
+std::string_view op_name(Request::Op op) {
+  switch (op) {
+    case Request::Op::kPing:
+      return "ping";
+    case Request::Op::kList:
+      return "list";
+    case Request::Op::kMetrics:
+      return "metrics";
+    case Request::Op::kAnalyze:
+      return "analyze";
+  }
+  return "?";
+}
+
+Request parse_request(std::string_view line) {
+  report::JsonValue doc;
+  try {
+    doc = report::JsonValue::parse(line);
+  } catch (const std::exception& e) {
+    throw robust::Error::wrap("malformed request frame", e, robust::Category::kInput);
+  }
+  if (!doc.is_object()) bad("request frame must be a JSON object");
+
+  const report::JsonValue* op_field = doc.find("op");
+  if (op_field == nullptr) bad("request is missing the 'op' field");
+  const std::string& op = op_field->as_string();
+
+  Request req;
+  if (op == "ping") {
+    req.op = Request::Op::kPing;
+  } else if (op == "list") {
+    req.op = Request::Op::kList;
+  } else if (op == "metrics") {
+    req.op = Request::Op::kMetrics;
+  } else if (op == "analyze") {
+    req.op = Request::Op::kAnalyze;
+  } else {
+    bad("unknown op '" + op + "'");
+  }
+
+  for (const auto& [key, value] : doc.members()) {
+    if (key == "op") continue;
+    if (key == "id") {
+      req.id = value.as_string();
+      if (req.id.size() > kMaxIdBytes) bad("request 'id' exceeds 256 bytes");
+      continue;
+    }
+    if (req.op == Request::Op::kMetrics && key == "format") {
+      const std::string& fmt = value.as_string();
+      if (fmt == "prometheus") {
+        req.prometheus = true;
+      } else if (fmt == "json") {
+        req.prometheus = false;
+      } else {
+        bad("unknown metrics format '" + fmt + "'");
+      }
+      continue;
+    }
+    if (req.op == Request::Op::kAnalyze) {
+      if (key == "benchmark") {
+        req.benchmark = value.as_string();
+        continue;
+      }
+      if (key == "period") {
+        req.period = finite_positive(value, "period");
+        continue;
+      }
+      if (key == "scale") {
+        req.scale = finite_positive(value, "scale");
+        continue;
+      }
+      if (key == "runs") {
+        req.runs = bounded_uint(value, "runs", kMaxRuns);
+        if (req.runs == 0) bad("request field 'runs' must be at least 1");
+        continue;
+      }
+      if (key == "report_mc") {
+        req.report_mc = bounded_uint(value, "report_mc", kMaxReportMc);
+        continue;
+      }
+    }
+    bad("unknown request field '" + key + "' for op '" + op + "'");
+  }
+
+  if (req.op == Request::Op::kAnalyze) {
+    if (req.benchmark.empty()) bad("analyze request is missing the 'benchmark' field");
+    bool known = false;
+    for (const auto& s : workloads::mibench_specs()) {
+      if (s.name == req.benchmark) known = true;
+    }
+    if (!known) bad("unknown benchmark '" + req.benchmark + "'");
+  }
+  return req;
+}
+
+std::uint64_t request_signature(const Request& req) {
+  cache::HashStream h;
+  h.str(op_name(req.op));
+  h.str(req.benchmark);
+  h.f64(req.period);
+  h.f64(req.scale);
+  h.u64(req.runs);
+  h.u64(req.report_mc);
+  return h.digest();
+}
+
+}  // namespace terrors::serve

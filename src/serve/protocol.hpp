@@ -1,0 +1,72 @@
+// Wire protocol of `terrors serve` (DESIGN §5h).
+//
+// Requests arrive as line-delimited JSON objects over a Unix-domain (or
+// loopback TCP) stream; every request gets exactly one single-line JSON
+// response.  The schema is strict on purpose: unknown fields, wrong
+// types, and out-of-range values are kInput errors, so a typo'd client
+// hears about it immediately instead of silently analyzing the default
+// benchmark.
+//
+//   {"op":"ping"}
+//   {"op":"list"}
+//   {"op":"metrics","format":"prometheus"}          // or "json" (default)
+//   {"op":"analyze","benchmark":"patricia",
+//    "period":1300.0,"scale":1e-4,"runs":4,"report_mc":0,"id":"c1"}
+//
+// The optional "id" (any string up to 256 bytes) is echoed verbatim in
+// the response envelope for client-side correlation.  Analyze responses
+// embed the exact report JSON the CLI's `analyze --report` writes, as the
+// *last* envelope key, byte-identical to a cold CLI run:
+//
+//   {"ok":true,"op":"analyze","id":"c1","run_id":"...","coalesced":false,
+//    "elapsed_seconds":1.23,"report":{...}}
+//
+// Errors map the robust taxonomy onto per-request envelopes — a bad
+// request never kills the daemon:
+//
+//   {"ok":false,"op":"analyze","id":"c1",
+//    "error":{"category":"input","message":"..."}}
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace terrors::serve {
+
+/// Hard ceilings on analyze parameters.  The daemon is a shared resource;
+/// a single request must not be able to commit it to an unbounded amount
+/// of work.  All are far above anything the paper's experiments need.
+inline constexpr std::uint64_t kMaxRuns = 1024;
+inline constexpr std::uint64_t kMaxReportMc = 1000000;
+inline constexpr std::size_t kMaxIdBytes = 256;
+
+/// One validated request.  Defaults mirror the CLI's analyze defaults so
+/// {"op":"analyze","benchmark":"x"} means the same as `terrors analyze x`.
+struct Request {
+  enum class Op { kPing, kList, kMetrics, kAnalyze };
+
+  Op op = Op::kPing;
+  std::string id;             ///< client correlation token ("" = absent)
+  std::string benchmark;      ///< analyze: workload name (validated)
+  double period = 1300.0;     ///< analyze: clock period, ps
+  double scale = 1e-4;        ///< analyze: execution scale factor
+  std::uint64_t runs = 4;     ///< analyze: input datasets
+  std::uint64_t report_mc = 0;  ///< analyze: Monte-Carlo cross-check trials
+  bool prometheus = false;    ///< metrics: text exposition instead of JSON
+};
+
+/// Parse + validate one request line.  Throws robust::Error (kInput) on
+/// malformed JSON, unknown ops or fields, wrong types, unknown
+/// benchmarks, or out-of-range values.
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Coalescing signature of an analyze request: a content hash over every
+/// field that influences the report bytes — and nothing else ("id" is
+/// excluded).  Two requests with equal signatures are satisfied by one
+/// characterization (single-flight, see server.hpp).
+[[nodiscard]] std::uint64_t request_signature(const Request& req);
+
+[[nodiscard]] std::string_view op_name(Request::Op op);
+
+}  // namespace terrors::serve

@@ -1,0 +1,346 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "core/framework.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "report/attribution.hpp"
+#include "report/run_report.hpp"
+#include "serve/session.hpp"
+#include "support/thread_pool.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/specs.hpp"
+
+namespace terrors::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& sessions = obs::MetricsRegistry::instance().counter("serve.sessions");
+  obs::Gauge& sessions_active = obs::MetricsRegistry::instance().gauge("serve.sessions_active");
+  obs::Gauge& queue_depth = obs::MetricsRegistry::instance().gauge("serve.queue_depth");
+  obs::Counter& rejected = obs::MetricsRegistry::instance().counter("serve.rejected");
+  obs::Counter& coalesced = obs::MetricsRegistry::instance().counter("serve.coalesced");
+};
+
+ServeMetrics& metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+[[noreturn]] void resource_error(const std::string& what) {
+  robust::raise(robust::Category::kResource, what + ": " + std::strerror(errno));
+}
+
+const workloads::WorkloadSpec& spec_for(const std::string& name) {
+  for (const auto& s : workloads::mibench_specs()) {
+    if (s.name == name) return s;
+  }
+  // parse_request validated the name; reaching here is a logic error.
+  robust::raise(robust::Category::kInternal, "benchmark vanished: " + name);
+}
+
+}  // namespace
+
+Server::Server(const netlist::Pipeline& pipeline, ServerConfig config)
+    : pipeline_(pipeline),
+      config_(std::move(config)),
+      disk_(config_.cache_dir.empty() ? nullptr
+                                      : std::make_unique<cache::ArtifactCache>(config_.cache_dir)),
+      tier_(config_.memory_cache_mb * std::size_t{1024} * 1024, disk_.get()) {}
+
+Server::~Server() {
+  stop();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (executor_.joinable()) executor_.join();
+  reap_sessions(/*join_all=*/true);
+  for (int* fd : {&listen_uds_, &listen_tcp_, &wake_pipe_[0], &wake_pipe_[1]}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+}
+
+void Server::start() {
+  if (::pipe(wake_pipe_) != 0) resource_error("cannot create wake pipe");
+
+  if (config_.socket_path.empty()) {
+    robust::raise(robust::Category::kInput, "serve requires a --socket path");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+    robust::raise(robust::Category::kInput,
+                  "socket path longer than " + std::to_string(sizeof(addr.sun_path) - 1) +
+                      " bytes: '" + config_.socket_path + "'");
+  }
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(), config_.socket_path.size() + 1);
+  listen_uds_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_uds_ < 0) resource_error("cannot create unix socket");
+  // A stale socket file from a crashed daemon would fail the bind; the
+  // path is ours by contract, so replace it.
+  ::unlink(config_.socket_path.c_str());
+  if (::bind(listen_uds_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    resource_error("cannot bind '" + config_.socket_path + "'");
+  }
+  if (::listen(listen_uds_, 16) != 0) resource_error("cannot listen on unix socket");
+
+  if (config_.tcp_port >= 0) {
+    listen_tcp_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_tcp_ < 0) resource_error("cannot create tcp socket");
+    const int one = 1;
+    ::setsockopt(listen_tcp_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in tcp{};
+    tcp.sin_family = AF_INET;
+    tcp.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only, never 0.0.0.0
+    tcp.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::bind(listen_tcp_, reinterpret_cast<const sockaddr*>(&tcp), sizeof(tcp)) != 0) {
+      resource_error("cannot bind tcp port " + std::to_string(config_.tcp_port));
+    }
+    if (::listen(listen_tcp_, 16) != 0) resource_error("cannot listen on tcp socket");
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_tcp_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      bound_tcp_port_ = static_cast<int>(ntohs(bound.sin_port));
+    }
+  }
+
+  executor_ = std::thread([this] { executor_loop(); });
+  obs::log_info("serve", "listening",
+                {{"socket", config_.socket_path},
+                 {"tcp", bound_tcp_port_ >= 0 ? std::to_string(bound_tcp_port_) : "off"},
+                 {"memory_cache_mb", std::to_string(config_.memory_cache_mb)}});
+}
+
+void Server::run() {
+  accept_loop();
+
+  // Teardown: refuse new connections first, then unblock everyone.
+  for (int* fd : {&listen_uds_, &listen_tcp_}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  ::unlink(config_.socket_path.c_str());
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (executor_.joinable()) executor_.join();
+  for (const auto& handle : sessions_) {
+    if (!handle->done.load()) ::shutdown(handle->fd, SHUT_RDWR);
+  }
+  reap_sessions(/*join_all=*/true);
+  obs::log_info("serve", "stopped", {{"socket", config_.socket_path}});
+}
+
+void Server::stop() {
+  stop_requested_.store(true);
+  request_stop_from_signal();
+}
+
+void Server::request_stop_from_signal() {
+  stop_requested_.store(true);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::set_paused(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    paused_ = paused;
+  }
+  queue_cv_.notify_all();
+}
+
+std::shared_ptr<Flight> Server::submit(const Request& req, bool& coalesced) {
+  const std::uint64_t signature = request_signature(req);
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  coalesced = false;
+  if (stopping_) return nullptr;
+  if (const auto it = flights_.find(signature); it != flights_.end()) {
+    coalesced = true;
+    metrics().coalesced.increment();
+    return it->second;
+  }
+  if (queue_.size() >= config_.max_queue) {
+    metrics().rejected.increment();
+    return nullptr;
+  }
+  auto flight = std::make_shared<Flight>();
+  flights_.emplace(signature, flight);
+  queue_.push_back(Job{signature, req, flight});
+  metrics().queue_depth.set(static_cast<double>(queue_.size()));
+  queue_cv_.notify_all();
+  return flight;
+}
+
+void Server::executor_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || (!paused_ && !queue_.empty()); });
+      if (stopping_) {
+        fail_pending_locked();
+        return;
+      }
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      metrics().queue_depth.set(static_cast<double>(queue_.size()));
+    }
+    execute(job);
+    {
+      // Retire the flight before publishing completion: a submitter
+      // holding queue_mutex_ either attaches to the still-registered
+      // flight (and finds it done) or starts a fresh one — never both.
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      flights_.erase(job.signature);
+    }
+    {
+      std::lock_guard<std::mutex> lock(job.flight->mutex);
+      job.flight->done = true;
+    }
+    job.flight->cv.notify_all();
+  }
+}
+
+void Server::execute(const Job& job) {
+  const Request& req = job.request;
+  try {
+    // Mirror the CLI's analyze flow exactly (tools/terrors_cli.cpp): a
+    // fresh framework per request, so the analyze ordinal is 0 and the
+    // run id — and every report byte — matches a cold CLI run of the
+    // same parameters.  The shared memory tier is the only carry-over,
+    // and it is invisible to report bytes by construction.
+    const workloads::WorkloadSpec& spec = spec_for(req.benchmark);
+    core::FrameworkConfig cfg;
+    cfg.spec = timing::TimingSpec{req.period};
+    cfg.execution_scale = 1.0 / req.scale;
+    cfg.artifact_store = &tier_;
+    core::ErrorRateFramework framework(pipeline_, cfg);
+    const auto runs = static_cast<std::size_t>(req.runs);
+    isa::ExecutorConfig ecfg = workloads::executor_config_for(spec, runs, req.scale);
+    if (req.report_mc > 0) ecfg.record_block_trace = true;
+    framework.set_executor_config(ecfg);
+    report::CollectorConfig ccfg;
+    ccfg.mc_trials = static_cast<std::size_t>(req.report_mc);
+    ccfg.threads = support::global_pool().size();
+    report::AttributionCollector collector(ccfg);
+    const isa::Program program = workloads::generate_program(spec);
+    const core::BenchmarkResult result =
+        framework.analyze(program, workloads::generate_inputs(spec, runs, 2026), &collector);
+    const report::RunReport report = collector.build(framework, program, result);
+    std::ostringstream os;
+    report.write_json(os);
+    job.flight->report_json = os.str();
+    // write_json terminates the document with '\n'; inside a
+    // line-delimited envelope that byte would split the frame.  Clients
+    // that persist the report re-append it to recover the exact file
+    // `analyze --report` writes.
+    if (!job.flight->report_json.empty() && job.flight->report_json.back() == '\n') {
+      job.flight->report_json.pop_back();
+    }
+    job.flight->run_id = result.run_id;
+  } catch (const std::exception& e) {
+    job.flight->failed = true;
+    if (const auto* err = dynamic_cast<const robust::Error*>(&e)) {
+      job.flight->error_category = err->category();
+      job.flight->error_message = err->render();
+    } else {
+      job.flight->error_category = robust::classify(e);
+      job.flight->error_message = e.what();
+    }
+    obs::log_warn("serve", "analysis failed",
+                  {{"benchmark", req.benchmark}, {"error", job.flight->error_message}});
+  }
+}
+
+void Server::accept_loop() {
+  while (!stop_requested_.load()) {
+    pollfd fds[3];
+    nfds_t nfds = 0;
+    fds[nfds++] = pollfd{wake_pipe_[0], POLLIN, 0};
+    const nfds_t uds_slot = nfds;
+    fds[nfds++] = pollfd{listen_uds_, POLLIN, 0};
+    nfds_t tcp_slot = 0;
+    if (listen_tcp_ >= 0) {
+      tcp_slot = nfds;
+      fds[nfds++] = pollfd{listen_tcp_, POLLIN, 0};
+    }
+    // Finite timeout so finished session threads get reaped even when no
+    // new connections arrive.
+    const int ready = ::poll(fds, nfds, 500);
+    if (ready < 0 && errno != EINTR) break;
+    if (stop_requested_.load() || (fds[0].revents & POLLIN) != 0) break;
+    for (nfds_t slot = uds_slot; slot < nfds; ++slot) {
+      if (slot != uds_slot && slot != tcp_slot) continue;
+      if ((fds[slot].revents & POLLIN) == 0) continue;
+      const int fd = ::accept(fds[slot].fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      metrics().sessions.increment();
+      metrics().sessions_active.add(1.0);
+      auto handle = std::make_unique<SessionHandle>();
+      handle->fd = fd;
+      SessionHandle* raw = handle.get();
+      handle->thread = std::thread([this, raw] {
+        Session(*this, raw->fd, config_.max_frame_bytes).run();
+        metrics().sessions_active.add(-1.0);
+        raw->done.store(true);
+      });
+      sessions_.push_back(std::move(handle));
+    }
+    reap_sessions(/*join_all=*/false);
+  }
+}
+
+void Server::reap_sessions(bool join_all) {
+  auto it = sessions_.begin();
+  while (it != sessions_.end()) {
+    SessionHandle& handle = **it;
+    if (!join_all && !handle.done.load()) {
+      ++it;
+      continue;
+    }
+    if (handle.thread.joinable()) handle.thread.join();
+    if (handle.fd >= 0) ::close(handle.fd);
+    it = sessions_.erase(it);
+  }
+}
+
+void Server::fail_pending_locked() {
+  for (const Job& job : queue_) {
+    {
+      std::lock_guard<std::mutex> lock(job.flight->mutex);
+      job.flight->failed = true;
+      job.flight->error_category = robust::Category::kResource;
+      job.flight->error_message = "server is shutting down";
+      job.flight->done = true;
+    }
+    job.flight->cv.notify_all();
+  }
+  queue_.clear();
+  flights_.clear();
+  metrics().queue_depth.set(0.0);
+}
+
+}  // namespace terrors::serve

@@ -1,0 +1,166 @@
+// `terrors serve` — long-running analysis daemon (DESIGN §5h).
+//
+// Architecture: an accept loop (Unix-domain socket, optionally loopback
+// TCP) spawns one Session thread per connection; sessions parse frames
+// (serve/protocol.hpp) and answer cheap ops (ping/list/metrics) inline.
+// Analyze requests are submitted to a bounded admission queue drained by
+// a single executor thread — RunContext::current() and the degradation
+// log are process-wide seams, so analyses are serialized by construction
+// and sessions only ever do protocol I/O.
+//
+// Single-flight coalescing: submissions are keyed by the request's
+// content signature.  While a signature is queued or running, identical
+// submissions attach to the in-flight entry instead of queueing again —
+// they block until the leader finishes and share its report bytes (each
+// under its own response envelope).  serve.coalesced counts the
+// followers; N concurrent identical requests pay for exactly one
+// characterization.  Overlapping-but-not-identical requests are covered
+// by the shared MemoryArtifactTier underneath (same content-addressed
+// artifacts, no recompute).
+//
+// Admission control: the queue is bounded (ServerConfig::max_queue);
+// overflow is answered immediately with a kResource error envelope and
+// counted in serve.rejected.  A bad request of any kind never kills the
+// process — robust::Error categories map onto per-request error
+// responses.
+//
+// Shutdown: stop() (or a byte on the signal-safe wake pipe, see
+// request_stop_from_signal) unblocks the accept loop, which closes and
+// unlinks the listeners, fails queued flights with kResource, joins the
+// executor, shuts down every live session socket, and joins the session
+// threads.  run() returning means the socket path is gone.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netlist/pipeline.hpp"
+#include "robust/error.hpp"
+#include "serve/memory_cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace terrors::serve {
+
+struct ServerConfig {
+  /// Unix-domain socket path (required; bound fresh, unlinked on exit).
+  std::string socket_path;
+  /// Loopback TCP port; -1 disables, 0 binds an ephemeral port (see
+  /// Server::tcp_port() for the bound value).
+  int tcp_port = -1;
+  /// Byte budget of the in-memory LRU artifact tier.
+  std::size_t memory_cache_mb = 64;
+  /// Maximum queued (non-coalesced) analyze requests; overflow rejects.
+  std::size_t max_queue = 32;
+  /// Maximum request frame length; longer frames fail the connection.
+  std::size_t max_frame_bytes = 1 << 20;
+  /// Optional on-disk cache directory layered *below* the memory tier.
+  std::string cache_dir;
+};
+
+/// One coalesced unit of analysis work.  The leader's executor run fills
+/// the result fields and flips `done`; every attached session (leader's
+/// and followers') blocks on `cv` and then builds its own envelope from
+/// the shared bytes.
+struct Flight {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool done = false;
+  bool failed = false;
+  std::string report_json;  ///< exact bytes `analyze --report` would write
+  std::string run_id;
+  robust::Category error_category = robust::Category::kInternal;
+  std::string error_message;
+};
+
+class Server {
+ public:
+  Server(const netlist::Pipeline& pipeline, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind the listeners and start the executor.  Throws robust::Error
+  /// (kResource) when a socket cannot be bound.  After start() returns
+  /// the socket path accepts connections.
+  void start();
+
+  /// Accept/dispatch until stop(); performs the full shutdown sequence
+  /// before returning.
+  void run();
+
+  /// Request shutdown from normal code (idempotent).
+  void stop();
+
+  /// Async-signal-safe shutdown request: writes one byte to the wake
+  /// pipe.  The accept loop does the actual teardown.
+  void request_stop_from_signal();
+
+  /// Test hook: while paused the executor keeps queued analyze requests
+  /// pending, so a test can stack identical submissions deterministically
+  /// and assert serve.coalesced before any work happens.
+  void set_paused(bool paused);
+
+  /// Submit an analyze request.  Returns the (possibly shared) flight,
+  /// or nullptr when the admission queue is full.  `coalesced` reports
+  /// whether the caller attached to an existing flight.
+  std::shared_ptr<Flight> submit(const Request& req, bool& coalesced);
+
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] const MemoryArtifactTier& memory_tier() const { return tier_; }
+  /// Actually bound TCP port (differs from config when ephemeral), -1 if
+  /// TCP is disabled.
+  [[nodiscard]] int tcp_port() const { return bound_tcp_port_; }
+
+ private:
+  struct Job {
+    std::uint64_t signature = 0;
+    Request request;
+    std::shared_ptr<Flight> flight;
+  };
+
+  struct SessionHandle {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void executor_loop();
+  /// Run one analyze end to end (fresh framework over the shared memory
+  /// tier, mirroring the CLI's analyze flow); fills the flight.
+  void execute(const Job& job);
+  void accept_loop();
+  void reap_sessions(bool join_all);
+  void fail_pending_locked();
+
+  const netlist::Pipeline& pipeline_;
+  ServerConfig config_;
+  std::unique_ptr<cache::ArtifactCache> disk_;  ///< optional delegate tier
+  MemoryArtifactTier tier_;
+
+  int listen_uds_ = -1;
+  int listen_tcp_ = -1;
+  int bound_tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Job> queue_;
+  std::map<std::uint64_t, std::shared_ptr<Flight>> flights_;
+  bool paused_ = false;
+  bool stopping_ = false;
+
+  std::thread executor_;
+  std::vector<std::unique_ptr<SessionHandle>> sessions_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace terrors::serve

@@ -1,0 +1,223 @@
+#include "serve/session.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "workloads/specs.hpp"
+
+namespace terrors::serve {
+
+namespace {
+
+obs::Counter& requests_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("serve.requests");
+  return c;
+}
+
+obs::Counter& errors_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("serve.errors");
+  return c;
+}
+
+obs::Histogram& latency_histogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("serve.request_seconds");
+  return h;
+}
+
+/// Common envelope prefix: {"ok":...,"op":"...","id":"..." — the id is
+/// included only when the client sent one.
+void envelope_head(std::ostream& os, bool ok, std::string_view op, std::string_view id) {
+  os << "{\"ok\":" << (ok ? "true" : "false");
+  if (!op.empty()) {
+    os << ",\"op\":";
+    obs::json_string(os, op);
+  }
+  if (!id.empty()) {
+    os << ",\"id\":";
+    obs::json_string(os, id);
+  }
+}
+
+}  // namespace
+
+Session::Session(Server& server, int fd, std::size_t max_frame_bytes)
+    : server_(server), fd_(fd), max_frame_bytes_(max_frame_bytes) {}
+
+void Session::run() {
+  std::string buffer;
+  char chunk[4096];
+  while (!dead_) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // disconnect (possibly mid-request) or shutdown
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (!line.empty()) handle_line(line);
+      start = nl + 1;
+    }
+    buffer.erase(0, start);
+    if (buffer.size() > max_frame_bytes_) {
+      // The frame cannot complete within the cap; answer once and drop
+      // the connection rather than buffering unboundedly or resyncing on
+      // a guessed boundary.
+      const robust::Error err(robust::Category::kInput,
+                              "request frame exceeds " + std::to_string(max_frame_bytes_) +
+                                  " bytes");
+      reply_error("", "", err);
+      break;
+    }
+  }
+  // fd_ is closed by the server after this thread is joined.
+}
+
+void Session::handle_line(std::string_view line) {
+  const auto started = std::chrono::steady_clock::now();
+  requests_counter().increment();
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const std::exception& e) {
+    reply_error("", "", e);
+    return;
+  }
+  try {
+    switch (req.op) {
+      case Request::Op::kPing: {
+        std::ostringstream os;
+        envelope_head(os, true, "ping", req.id);
+        os << "}";
+        reply(os.str());
+        break;
+      }
+      case Request::Op::kList: {
+        std::ostringstream os;
+        envelope_head(os, true, "list", req.id);
+        os << ",\"benchmarks\":[";
+        bool first = true;
+        for (const auto& s : workloads::mibench_specs()) {
+          if (!first) os << ",";
+          first = false;
+          obs::json_string(os, s.name);
+        }
+        os << "]}";
+        reply(os.str());
+        break;
+      }
+      case Request::Op::kMetrics: {
+        std::ostringstream os;
+        envelope_head(os, true, "metrics", req.id);
+        if (req.prometheus) {
+          std::ostringstream prom;
+          obs::MetricsRegistry::instance().write_prometheus(prom);
+          os << ",\"prometheus\":";
+          obs::json_string(os, prom.str());
+        } else {
+          // write_json terminates with '\n', which would split the frame.
+          std::ostringstream json;
+          obs::MetricsRegistry::instance().write_json(json);
+          std::string doc = json.str();
+          while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+          os << ",\"metrics\":" << doc;
+        }
+        os << "}";
+        reply(os.str());
+        break;
+      }
+      case Request::Op::kAnalyze:
+        handle_analyze(req);
+        break;
+    }
+  } catch (const std::exception& e) {
+    reply_error(op_name(req.op), req.id, e);
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
+  latency_histogram().observe(elapsed.count());
+}
+
+void Session::handle_analyze(const Request& req) {
+  const auto started = std::chrono::steady_clock::now();
+  bool coalesced = false;
+  const std::shared_ptr<Flight> flight = server_.submit(req, coalesced);
+  if (flight == nullptr) {
+    const robust::Error err(robust::Category::kResource,
+                            "analysis queue is full (" +
+                                std::to_string(server_.config().max_queue) +
+                                " pending); retry later");
+    reply_error("analyze", req.id, err);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(flight->mutex);
+    flight->cv.wait(lock, [&] { return flight->done; });
+  }
+  if (flight->failed) {
+    const robust::Error err(flight->error_category, flight->error_message);
+    reply_error("analyze", req.id, err);
+    return;
+  }
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
+  std::ostringstream os;
+  envelope_head(os, true, "analyze", req.id);
+  os << ",\"run_id\":";
+  obs::json_string(os, flight->run_id);
+  os << ",\"coalesced\":" << (coalesced ? "true" : "false");
+  os << ",\"elapsed_seconds\":";
+  obs::json_number(os, elapsed.count());
+  // The report is the LAST envelope key and its bytes are spliced in
+  // verbatim: clients (and the byte-identity tests) recover exactly what
+  // `analyze --report` would have written by stripping the envelope's
+  // prefix and the final '}'.
+  os << ",\"report\":" << flight->report_json << "}";
+  reply(os.str());
+}
+
+void Session::reply_error(std::string_view op, std::string_view id, const std::exception& e) {
+  errors_counter().increment();
+  robust::Category category = robust::Category::kInternal;
+  std::string message;
+  if (const auto* err = dynamic_cast<const robust::Error*>(&e)) {
+    category = err->category();
+    message = err->render();
+  } else {
+    category = robust::classify(e);
+    message = e.what();
+  }
+  std::ostringstream os;
+  envelope_head(os, false, op, id);
+  os << ",\"error\":{\"category\":";
+  obs::json_string(os, robust::category_name(category));
+  os << ",\"message\":";
+  obs::json_string(os, message);
+  os << "}}";
+  reply(os.str());
+}
+
+void Session::reply(std::string_view payload) {
+  std::string frame(payload);
+  frame.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a client that disconnected mid-response must not
+    // SIGPIPE the daemon.
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      dead_ = true;
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace terrors::serve

@@ -1,0 +1,44 @@
+// One client connection of `terrors serve`: newline-delimited framing,
+// envelope construction, and the robust::Error → error-response mapping.
+// A session owns nothing but its fd and a read buffer; every analyze goes
+// through Server::submit so coalescing and admission control are shared.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace terrors::serve {
+
+class Server;
+struct Request;
+
+class Session {
+ public:
+  /// `fd` stays owned by the server's bookkeeping: the server shuts it
+  /// down to unblock the read loop and closes it after joining the
+  /// session thread, so a shutdown() can never hit a recycled fd.
+  Session(Server& server, int fd, std::size_t max_frame_bytes);
+
+  /// Read frames until disconnect, oversized frame, or server shutdown.
+  void run();
+
+ private:
+  /// Handle one complete request line; always writes exactly one
+  /// response frame (or marks the session dead on write failure).
+  void handle_line(std::string_view line);
+  void handle_analyze(const Request& req);
+  /// Error envelope from a caught exception: robust::Error categories map
+  /// to {"category": "...", "message": ...}; anything else classifies as
+  /// per robust::classify.  `op`/`id` are included when known.
+  void reply_error(std::string_view op, std::string_view id, const std::exception& e);
+  /// Write one frame + newline; on failure (peer gone) marks dead.
+  void reply(std::string_view payload);
+
+  Server& server_;
+  int fd_;
+  std::size_t max_frame_bytes_;
+  bool dead_ = false;
+};
+
+}  // namespace terrors::serve

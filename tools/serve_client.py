@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Minimal client for the `terrors serve` line-delimited JSON protocol.
+
+Stdlib only, so CI (and anyone poking at a daemon) needs nothing beyond
+python3.  One connection per request except `fanout`, which opens N
+concurrent connections sending the *same* analyze request — the
+single-flight path — and verifies every response carries identical
+report bytes.
+
+  serve_client.py --socket /tmp/t.sock ping
+  serve_client.py --socket /tmp/t.sock analyze --benchmark patricia --runs 2 --out report.json
+  serve_client.py --socket /tmp/t.sock fanout --benchmark gsm.decode --clients 8 --out-prefix served
+  serve_client.py --socket /tmp/t.sock metrics --prometheus
+
+Exit codes: 0 ok, 1 protocol/usage failure, 2 server answered with an
+error envelope.
+"""
+
+import argparse
+import json
+import socket
+import sys
+import threading
+
+REPORT_MARKER = ',"report":'
+
+
+def rpc_line(path, line):
+    """Send one request line, return one response line."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.connect(path)
+        sock.sendall(line.encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise RuntimeError("server closed the connection mid-response")
+            buf += chunk
+        return buf.decode().rstrip("\n")
+
+
+def report_bytes(envelope):
+    """The raw report document spliced into an analyze envelope, with the
+    trailing newline `analyze --report` files carry."""
+    at = envelope.find(REPORT_MARKER)
+    if at < 0 or not envelope.endswith("}"):
+        raise RuntimeError("no report in envelope: " + envelope[:200])
+    return envelope[at + len(REPORT_MARKER):-1] + "\n"
+
+
+def check_ok(envelope):
+    doc = json.loads(envelope)
+    if not doc.get("ok"):
+        print("server error:", doc.get("error"), file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def analyze_request(args):
+    req = {"op": "analyze", "benchmark": args.benchmark, "runs": args.runs}
+    if args.period is not None:
+        req["period"] = args.period
+    if args.scale is not None:
+        req["scale"] = args.scale
+    return json.dumps(req)
+
+
+def cmd_ping(args):
+    doc = check_ok(rpc_line(args.socket, json.dumps({"op": "ping"})))
+    print("pong" if doc["op"] == "ping" else doc)
+
+
+def cmd_metrics(args):
+    req = {"op": "metrics"}
+    if args.prometheus:
+        req["format"] = "prometheus"
+    doc = check_ok(rpc_line(args.socket, json.dumps(req)))
+    if args.prometheus:
+        sys.stdout.write(doc["prometheus"])
+    else:
+        json.dump(doc["metrics"], sys.stdout, indent=2)
+        print()
+
+
+def cmd_analyze(args):
+    envelope = rpc_line(args.socket, analyze_request(args))
+    doc = check_ok(envelope)
+    report = report_bytes(envelope)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report)
+    print(f"run_id={doc['run_id']} coalesced={doc['coalesced']} "
+          f"elapsed={doc['elapsed_seconds']:.3f}s bytes={len(report)}")
+
+
+def cmd_fanout(args):
+    line = analyze_request(args)
+    results = [None] * args.clients
+    errors = []
+
+    def worker(i):
+        try:
+            results[i] = rpc_line(args.socket, line)
+        except Exception as e:  # collected, not raised: threads must all finish
+            errors.append(f"client {i}: {e}")
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(args.clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        print("\n".join(errors), file=sys.stderr)
+        sys.exit(1)
+
+    coalesced = 0
+    reports = []
+    for i, envelope in enumerate(results):
+        doc = check_ok(envelope)
+        if doc["coalesced"]:
+            coalesced += 1
+        reports.append(report_bytes(envelope))
+    if any(r != reports[0] for r in reports):
+        print("fanout responses disagree on report bytes", file=sys.stderr)
+        sys.exit(1)
+    if args.out_prefix:
+        with open(args.out_prefix + ".json", "w") as f:
+            f.write(reports[0])
+    print(f"clients={args.clients} coalesced={coalesced} "
+          f"run_id={json.loads(results[0])['run_id']} bytes={len(reports[0])}")
+    if args.min_coalesced is not None and coalesced < args.min_coalesced:
+        print(f"expected at least {args.min_coalesced} coalesced responses",
+              file=sys.stderr)
+        sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--socket", required=True, help="unix socket path of the daemon")
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    sub.add_parser("ping")
+
+    p = sub.add_parser("metrics")
+    p.add_argument("--prometheus", action="store_true")
+
+    def analyze_args(p):
+        p.add_argument("--benchmark", required=True)
+        p.add_argument("--runs", type=int, default=4)
+        p.add_argument("--period", type=float, default=None)
+        p.add_argument("--scale", type=float, default=None)
+
+    p = sub.add_parser("analyze")
+    analyze_args(p)
+    p.add_argument("--out", help="write the report bytes to this file")
+
+    p = sub.add_parser("fanout")
+    analyze_args(p)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--out-prefix", help="write the (identical) report to PREFIX.json")
+    p.add_argument("--min-coalesced", type=int, default=None,
+                   help="fail unless at least this many responses were coalesced")
+
+    args = parser.parse_args()
+    {"ping": cmd_ping, "metrics": cmd_metrics,
+     "analyze": cmd_analyze, "fanout": cmd_fanout}[args.cmd](args)
+
+
+if __name__ == "__main__":
+    main()

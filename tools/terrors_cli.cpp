@@ -23,6 +23,7 @@
 // 6 resource, 7 internal (0 ok, 1 generic, 2 diff regression).  A fault
 // plan from --inject-faults / TERRORS_FAULTS arms deterministic chaos
 // (see src/robust/fault_injection.hpp).
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,6 +49,8 @@
 #include "robust/doctor.hpp"
 #include "robust/error.hpp"
 #include "robust/fault_injection.hpp"
+#include "robust/parse.hpp"
+#include "serve/server.hpp"
 #include "sim/vcd.hpp"
 #include "support/thread_pool.hpp"
 #include "timing/report.hpp"
@@ -105,10 +108,20 @@ bool parse_flags(int argc, char** argv, int start, std::initializer_list<FlagSpe
   return true;
 }
 
+// Checked flag accessors (robust/parse.hpp): garbage like "--threads=abc"
+// or "--threads=-1" surfaces as a typed kInput error naming the flag and
+// value (exit 3), never as an untyped std::sto* crash or a silent wrap of
+// a negative into a huge unsigned.
 double num_flag(const std::map<std::string, std::string>& flags, const char* name,
                 double fallback) {
   const auto it = flags.find(name);
-  return it == flags.end() ? fallback : std::stod(it->second);
+  return it == flags.end() ? fallback : robust::parse_double_arg(name, it->second);
+}
+
+std::uint64_t uint_flag(const std::map<std::string, std::string>& flags, const char* name,
+                        std::uint64_t fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback : robust::parse_uint_arg(name, it->second);
 }
 
 /// Print a typed error chain and return its category exit code.
@@ -178,7 +191,7 @@ int cmd_report(int argc, char** argv) {
   if (argc >= 3 && std::strncmp(argv[2], "--", 2) != 0) {
     std::map<std::string, std::string> flags;
     if (!parse_flags(argc, argv, 3, {{"--top", true}}, flags)) return 1;
-    const auto top = static_cast<std::size_t>(num_flag(flags, "--top", 10));
+    const auto top = static_cast<std::size_t>(uint_flag(flags, "--top", 10));
     try {
       const report::RunReport r = report::RunReport::load(argv[2]);
       report::write_text(r, std::cout, top);
@@ -190,7 +203,7 @@ int cmd_report(int argc, char** argv) {
   std::map<std::string, std::string> flags;
   if (!parse_flags(argc, argv, 2, {{"--period", true}, {"--n", true}}, flags)) return 1;
   const double period = num_flag(flags, "--period", 1300.0);
-  const auto n = static_cast<std::size_t>(num_flag(flags, "--n", 10));
+  const auto n = static_cast<std::size_t>(uint_flag(flags, "--n", 10));
   timing::PathEnumerator paths(pipe().netlist);
   const timing::VariationModel vm(pipe().netlist, {});
   timing::ReportConfig cfg;
@@ -267,9 +280,10 @@ int cmd_analyze(int argc, char** argv, const char* name) {
   const bool strict = flags.count("--strict") != 0;
   const double period = num_flag(flags, "--period", 1300.0);
   const double scale = num_flag(flags, "--scale", 1e-4);
-  const auto runs = static_cast<std::size_t>(num_flag(flags, "--runs", 4));
+  const auto runs = static_cast<std::size_t>(uint_flag(flags, "--runs", 4));
   if (const auto it = flags.find("--threads"); it != flags.end())
-    support::set_global_threads(static_cast<std::size_t>(std::stoul(it->second)));
+    support::set_global_threads(
+        static_cast<std::size_t>(robust::parse_uint_arg("--threads", it->second)));
 
   if (const auto it = flags.find("--log-level"); it != flags.end()) {
     const auto lvl = obs::parse_log_level(it->second);
@@ -281,7 +295,7 @@ int cmd_analyze(int argc, char** argv, const char* name) {
   }
   if (const auto it = flags.find("--trace-limit"); it != flags.end()) {
     obs::Tracer::instance().set_span_limit(
-        static_cast<std::size_t>(std::stoull(it->second)));
+        static_cast<std::size_t>(robust::parse_uint_arg("--trace-limit", it->second)));
   }
   // The profiler samples the tracer's open-span stacks, so --profile
   // implies tracing even without a --trace output file.
@@ -292,7 +306,7 @@ int cmd_analyze(int argc, char** argv, const char* name) {
   if (profiling) {
     obs::ProfilerOptions popt;
     popt.interval_us =
-        static_cast<std::uint64_t>(num_flag(flags, "--profile-interval-us", 1000));
+        uint_flag(flags, "--profile-interval-us", 1000);
     obs::SpanProfiler::instance().start(popt);
   }
 
@@ -302,7 +316,7 @@ int cmd_analyze(int argc, char** argv, const char* name) {
   if (const auto it = flags.find("--cache-dir"); it != flags.end()) cfg.cache_dir = it->second;
   if (const auto it = flags.find("--journal"); it != flags.end()) cfg.journal_path = it->second;
   const bool want_report = flags.count("--report") != 0;
-  const auto mc_trials = static_cast<std::size_t>(num_flag(flags, "--report-mc", 0));
+  const auto mc_trials = static_cast<std::size_t>(uint_flag(flags, "--report-mc", 0));
   core::ErrorRateFramework framework(pipe(), cfg);
   isa::ExecutorConfig ecfg = workloads::executor_config_for(*spec, runs, scale);
   // The MC cross-check replays the dynamic block sequence; recording it
@@ -431,7 +445,7 @@ int cmd_tail(int argc, char** argv) {
   }
   std::map<std::string, std::string> flags;
   if (!parse_flags(argc, argv, 3, {{"--n", true}}, flags)) return 1;
-  const auto n = static_cast<std::size_t>(num_flag(flags, "--n", 10));
+  const auto n = static_cast<std::size_t>(uint_flag(flags, "--n", 10));
   try {
     const auto events = report::load_journal(argv[2]);
     report::write_tail_text(events, n, std::cout);
@@ -448,7 +462,7 @@ int cmd_profile(int argc, char** argv) {
   }
   std::map<std::string, std::string> flags;
   if (!parse_flags(argc, argv, 3, {{"--top", true}}, flags)) return 1;
-  const auto top = static_cast<std::size_t>(num_flag(flags, "--top", 15));
+  const auto top = static_cast<std::size_t>(uint_flag(flags, "--top", 15));
   const std::string path = argv[2];
   try {
     std::ifstream in(path, std::ios::binary);
@@ -501,7 +515,7 @@ int cmd_vcd(int argc, char** argv, const char* name) {
   }
   std::map<std::string, std::string> flags;
   if (!parse_flags(argc, argv, 3, {{"--cycles", true}}, flags)) return 1;
-  const auto cycles = static_cast<std::size_t>(num_flag(flags, "--cycles", 64));
+  const auto cycles = static_cast<std::size_t>(uint_flag(flags, "--cycles", 64));
   // Collect sampled contexts into a short slot stream.
   const isa::Program program = workloads::generate_program(*spec);
   const isa::Cfg cfg(program);
@@ -558,8 +572,75 @@ int cmd_vcd(int argc, char** argv, const char* name) {
   return 0;
 }
 
+// The running daemon, for the signal handlers.  request_stop_from_signal
+// only writes one byte to a pipe, which is async-signal-safe.
+serve::Server* g_server = nullptr;
+
+void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop_from_signal();
+}
+
+int cmd_serve(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  if (!parse_flags(argc, argv, 2,
+                   {{"--socket", true},
+                    {"--tcp", true},
+                    {"--threads", true},
+                    {"--memory-cache-mb", true},
+                    {"--max-queue", true},
+                    {"--cache-dir", true},
+                    {"--log-level", true}},
+                   flags))
+    return 1;
+  const auto sock = flags.find("--socket");
+  if (sock == flags.end()) {
+    std::fprintf(stderr, "usage: terrors serve --socket PATH [--tcp PORT] [--threads T]\n"
+                         "               [--memory-cache-mb N] [--max-queue N] [--cache-dir D]\n");
+    return 1;
+  }
+  if (const auto it = flags.find("--log-level"); it != flags.end()) {
+    const auto lvl = obs::parse_log_level(it->second);
+    if (!lvl.has_value()) {
+      std::fprintf(stderr, "unknown log level '%s'\n", it->second.c_str());
+      return 1;
+    }
+    obs::Logger::instance().set_level(*lvl);
+  }
+  if (const auto it = flags.find("--threads"); it != flags.end())
+    support::set_global_threads(
+        static_cast<std::size_t>(robust::parse_uint_arg("--threads", it->second)));
+
+  serve::ServerConfig cfg;
+  cfg.socket_path = sock->second;
+  if (const auto it = flags.find("--tcp"); it != flags.end()) {
+    const std::uint64_t port = robust::parse_uint_arg("--tcp", it->second);
+    if (port > 65535) {
+      robust::raise(robust::Category::kInput,
+                    "--tcp: port out of range '" + it->second + "'");
+    }
+    cfg.tcp_port = static_cast<int>(port);
+  }
+  cfg.memory_cache_mb = static_cast<std::size_t>(uint_flag(flags, "--memory-cache-mb", 64));
+  cfg.max_queue = static_cast<std::size_t>(uint_flag(flags, "--max-queue", 32));
+  if (const auto it = flags.find("--cache-dir"); it != flags.end()) cfg.cache_dir = it->second;
+
+  serve::Server server(pipe(), cfg);
+  g_server = &server;
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
+  server.start();
+  std::printf("terrors serve: listening on %s", cfg.socket_path.c_str());
+  if (server.tcp_port() >= 0) std::printf(" and 127.0.0.1:%d", server.tcp_port());
+  std::printf(" (%zu worker threads)\n", support::global_pool().size());
+  std::fflush(stdout);
+  server.run();
+  g_server = nullptr;
+  return 0;
+}
+
 constexpr const char* kCommands[] = {"info", "list", "program", "report", "diff", "analyze",
-                                     "stats", "tail", "profile", "vcd", "doctor"};
+                                     "stats", "tail", "profile", "vcd", "doctor", "serve"};
 
 void usage() {
   std::fputs(
@@ -598,6 +679,12 @@ void usage() {
       "  profile <folded> [--top N]    hotspot table from a folded-stack file\n"
       "  vcd <name> [--cycles N]       dump a VCD window to stdout\n"
       "  doctor [--cache-dir D]        self-test the environment; category exit codes\n"
+      "  serve --socket PATH           analysis daemon: line-delimited JSON requests\n"
+      "        [--tcp PORT]            also listen on 127.0.0.1:PORT (0 = ephemeral)\n"
+      "        [--threads T]           worker threads for the analyses\n"
+      "        [--memory-cache-mb N]   in-memory LRU artifact tier budget (default 64)\n"
+      "        [--max-queue N]         pending-analysis admission bound (default 32)\n"
+      "        [--cache-dir D]         on-disk artifact tier below the memory tier\n"
       "flags accept both '--flag value' and '--flag=value'\n"
       "error exit codes: 1 generic, 2 diff regression, 3 input, 4 artifact,\n"
       "                  5 numerical, 6 resource, 7 internal\n",
@@ -630,6 +717,7 @@ int main(int argc, char** argv) {
     if (cmd == "tail") return cmd_tail(argc, argv);
     if (cmd == "profile") return cmd_profile(argc, argv);
     if (cmd == "doctor") return cmd_doctor(argc, argv);
+    if (cmd == "serve") return cmd_serve(argc, argv);
     if (cmd == "program" && argc >= 3) return cmd_program(argv[2]);
     if (cmd == "analyze" && argc >= 3) return cmd_analyze(argc, argv, argv[2]);
     if (cmd == "vcd" && argc >= 3) return cmd_vcd(argc, argv, argv[2]);
