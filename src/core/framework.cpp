@@ -135,10 +135,13 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
        cache::hash_spec(config_.spec), cache::hash_program(program), analyze_ordinal_++});
   obs::RunContext ctx(run_key, program.name());
   obs::RunContext::Scope run_scope(ctx);
-  obs::log_info("core", "analyze start",
-                {{"program", program.name()},
-                 {"inputs", inputs.size()},
-                 {"run", ctx.id()}});
+  {
+    std::vector<obs::LogField> fields = {{"program", program.name()},
+                                         {"inputs", inputs.size()},
+                                         {"run", ctx.id()}};
+    if (!ctx.request_id().empty()) fields.push_back({"req", ctx.request_id()});
+    obs::log_info("core", "analyze start", fields);
+  }
 
   BenchmarkResult result;
   result.name = program.name();
@@ -297,6 +300,7 @@ BenchmarkResult ErrorRateFramework::analyze(const isa::Program& program,
   if (!journal_path_.empty()) {
     obs::RunEvent event;
     event.run_id = ctx.id();
+    event.request_id = ctx.request_id();
     event.unix_ms = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::milliseconds>(
             std::chrono::system_clock::now().time_since_epoch())

@@ -13,6 +13,19 @@
 #include "obs/metrics.hpp"
 
 namespace terrors::obs {
+namespace {
+
+/// One O_APPEND write per line: concurrent writers sharing the file
+/// interleave whole events, never bytes.
+void append_line(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) throw std::runtime_error("cannot open journal '" + path + "'");
+  out.write(line.data(), static_cast<std::streamsize>(line.size()));
+  out.flush();
+  if (!out) throw std::runtime_error("append to journal '" + path + "' failed");
+}
+
+}  // namespace
 
 std::string event_line(const RunEvent& event) {
   std::ostringstream os;
@@ -22,6 +35,12 @@ std::string event_line(const RunEvent& event) {
   json_number(os, static_cast<std::uint64_t>(event.schema_version));
   os << ",\"run_id\":";
   json_string(os, event.run_id);
+  // Optional: only daemon-served runs carry a request id, and omitting
+  // the key keeps CLI journal bytes identical to pre-serve releases.
+  if (!event.request_id.empty()) {
+    os << ",\"request_id\":";
+    json_string(os, event.request_id);
+  }
   os << ",\"unix_ms\":";
   json_number(os, event.unix_ms);
   os << ",\"program\":";
@@ -77,16 +96,51 @@ std::string event_line(const RunEvent& event) {
   return os.str();
 }
 
+std::string access_event_line(const AccessEvent& event) {
+  std::ostringstream os;
+  os << "{\"kind\":";
+  json_string(os, kAccessJournalKind);
+  os << ",\"schema_version\":";
+  json_number(os, static_cast<std::uint64_t>(event.schema_version));
+  os << ",\"request_id\":";
+  json_string(os, event.request_id);
+  os << ",\"op\":";
+  json_string(os, event.op);
+  os << ",\"signature\":";
+  json_string(os, event.signature);
+  os << ",\"run_id\":";
+  json_string(os, event.run_id);
+  os << ",\"unix_ms\":";
+  json_number(os, event.unix_ms);
+  os << ",\"timing\":{\"queue_wait_seconds\":";
+  json_number(os, event.queue_wait_seconds);
+  os << ",\"executor_seconds\":";
+  json_number(os, event.executor_seconds);
+  os << ",\"total_seconds\":";
+  json_number(os, event.total_seconds);
+  os << "},\"coalesced\":" << (event.coalesced ? "true" : "false");
+  os << ",\"rejected\":" << (event.rejected ? "true" : "false");
+  os << ",\"ok\":" << (event.ok ? "true" : "false");
+  os << ",\"error_category\":";
+  json_string(os, event.error_category);
+  os << ",\"response_bytes\":";
+  json_number(os, event.response_bytes);
+  os << ",\"queue_depth_peak\":";
+  json_number(os, event.queue_depth_peak);
+  os << "}";
+  return os.str();
+}
+
 void append_event(const std::string& path, const RunEvent& event) {
-  const std::string line = event_line(event) + "\n";
-  // ofstream app maps onto O_APPEND: the one write below lands as a
-  // contiguous byte range even when several processes share the journal.
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out) throw std::runtime_error("cannot open journal '" + path + "'");
-  out.write(line.data(), static_cast<std::streamsize>(line.size()));
-  out.flush();
-  if (!out) throw std::runtime_error("append to journal '" + path + "' failed");
+  append_line(path, event_line(event) + "\n");
   static Counter& events = MetricsRegistry::instance().counter("journal.events");
+  events.increment();
+}
+
+void append_access_event(const std::string& path, const AccessEvent& event) {
+  append_line(path, access_event_line(event) + "\n");
+  static Counter& events =
+      MetricsRegistry::instance().counter("journal.access_events");
   events.increment();
 }
 

@@ -32,10 +32,15 @@ inline constexpr int kJournalSchemaVersion = 1;
 /// Distinguishes run events from the repo's other JSON documents.
 inline constexpr const char* kJournalKind = "terrors_run_event";
 
+inline constexpr int kAccessJournalSchemaVersion = 1;
+/// Distinguishes serve access events from run events in mixed tooling.
+inline constexpr const char* kAccessJournalKind = "terrors_access_event";
+
 /// One analyze() call, wide.  Field order below is the JSON key order.
 struct RunEvent {
   int schema_version = kJournalSchemaVersion;
   std::string run_id;            ///< 16-hex-digit deterministic id
+  std::string request_id;        ///< serve request id; "" outside the daemon
   std::uint64_t unix_ms = 0;     ///< wall-clock append time (not deterministic)
   std::string program;
   std::string config_hash;       ///< 16-hex netlist+config component of the key
@@ -72,13 +77,40 @@ struct RunEvent {
   }
 };
 
+/// One `terrors serve` request, wide (DESIGN §5i): identity (request id,
+/// op, coalescing signature, run id), cost (queue wait, executor time,
+/// total session time, response bytes), and outcome (coalesced/rejected
+/// flags, error category).  Field order below is the JSON key order.
+struct AccessEvent {
+  int schema_version = kAccessJournalSchemaVersion;
+  std::string request_id;        ///< client-supplied or daemon-derived id
+  std::string op;                ///< ping | list | metrics | analyze | invalid
+  std::string signature;         ///< 16-hex coalescing key; "" for cheap ops
+  std::string run_id;            ///< analyze run id; "" when none was assigned
+  std::uint64_t unix_ms = 0;     ///< wall-clock append time
+
+  double queue_wait_seconds = 0.0;  ///< admission queue dwell (analyze only)
+  double executor_seconds = 0.0;    ///< executor wall time (analyze only)
+  double total_seconds = 0.0;       ///< parse -> response, as the session saw it
+
+  bool coalesced = false;        ///< follower attached to an in-flight leader
+  bool rejected = false;         ///< bounced at admission (queue full)
+  bool ok = true;                ///< envelope carried "ok":true
+  std::string error_category;    ///< robust category name; "" when ok
+
+  std::uint64_t response_bytes = 0;    ///< envelope size incl. trailing '\n'
+  std::uint64_t queue_depth_peak = 0;  ///< high-water queue depth at append time
+};
+
 /// Serialise one event as a single JSON line (no trailing newline).
 [[nodiscard]] std::string event_line(const RunEvent& event);
+[[nodiscard]] std::string access_event_line(const AccessEvent& event);
 
 /// Append one event (plus '\n') to `path`, creating the file if needed.
 /// Throws std::runtime_error when the file cannot be opened or written —
 /// callers on the analysis path degrade instead of failing the run.
 void append_event(const std::string& path, const RunEvent& event);
+void append_access_event(const std::string& path, const AccessEvent& event);
 
 /// Journal path resolution: explicit flag value > TERRORS_JOURNAL > "".
 [[nodiscard]] std::string resolve_journal_path(const std::string& flag_value);

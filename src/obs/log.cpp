@@ -90,6 +90,16 @@ Logger& Logger::instance() {
 
 void Logger::log(LogLevel level, std::string_view component, std::string_view message,
                  std::initializer_list<LogField> fields) {
+  log_impl(level, component, message, fields.begin(), fields.end());
+}
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message,
+                 const std::vector<LogField>& fields) {
+  log_impl(level, component, message, fields.data(), fields.data() + fields.size());
+}
+
+void Logger::log_impl(LogLevel level, std::string_view component, std::string_view message,
+                      const LogField* begin, const LogField* end) {
   if (!enabled(level)) return;
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostream& os = sink_ != nullptr ? *sink_ : std::cerr;
@@ -97,9 +107,9 @@ void Logger::log(LogLevel level, std::string_view component, std::string_view me
   write_value(os, component, true);
   os << " msg=";
   write_value(os, message, true);
-  for (const auto& f : fields) {
-    os << ' ' << f.key << '=';
-    write_value(os, f.value, f.quote);
+  for (const LogField* f = begin; f != end; ++f) {
+    os << ' ' << f->key << '=';
+    write_value(os, f->value, f->quote);
   }
   os << '\n';
 }
@@ -112,8 +122,16 @@ void log_warn(std::string_view comp, std::string_view msg,
               std::initializer_list<LogField> fields) {
   Logger::instance().log(LogLevel::kWarn, comp, msg, fields);
 }
+void log_warn(std::string_view comp, std::string_view msg,
+              const std::vector<LogField>& fields) {
+  Logger::instance().log(LogLevel::kWarn, comp, msg, fields);
+}
 void log_info(std::string_view comp, std::string_view msg,
               std::initializer_list<LogField> fields) {
+  Logger::instance().log(LogLevel::kInfo, comp, msg, fields);
+}
+void log_info(std::string_view comp, std::string_view msg,
+              const std::vector<LogField>& fields) {
   Logger::instance().log(LogLevel::kInfo, comp, msg, fields);
 }
 void log_debug(std::string_view comp, std::string_view msg,

@@ -20,6 +20,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace terrors::obs {
 
@@ -70,8 +71,14 @@ class Logger {
 
   void log(LogLevel level, std::string_view component, std::string_view message,
            std::initializer_list<LogField> fields = {});
+  /// Overload for call sites that compose their field list at runtime
+  /// (e.g. optional run=/req= tags).
+  void log(LogLevel level, std::string_view component, std::string_view message,
+           const std::vector<LogField>& fields);
 
  private:
+  void log_impl(LogLevel level, std::string_view component, std::string_view message,
+                const LogField* begin, const LogField* end);
   Logger();
   LogLevel level_ = LogLevel::kOff;
   std::ostream* sink_ = nullptr;  ///< nullptr = stderr
@@ -83,8 +90,12 @@ void log_error(std::string_view comp, std::string_view msg,
                std::initializer_list<LogField> fields = {});
 void log_warn(std::string_view comp, std::string_view msg,
               std::initializer_list<LogField> fields = {});
+void log_warn(std::string_view comp, std::string_view msg,
+              const std::vector<LogField>& fields);
 void log_info(std::string_view comp, std::string_view msg,
               std::initializer_list<LogField> fields = {});
+void log_info(std::string_view comp, std::string_view msg,
+              const std::vector<LogField>& fields);
 void log_debug(std::string_view comp, std::string_view msg,
                std::initializer_list<LogField> fields = {});
 

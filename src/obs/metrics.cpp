@@ -60,6 +60,17 @@ Histogram& MetricsRegistry::histogram(std::string_view name) {
   return histograms_.try_emplace(std::string(name)).first->second;
 }
 
+void MetricsRegistry::set_help(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  help_.insert_or_assign(std::string(name), std::string(help));
+}
+
+std::string MetricsRegistry::help(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = help_.find(name);
+  return it == help_.end() ? std::string() : it->second;
+}
+
 void MetricsRegistry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, c] : counters_) c.reset();
@@ -158,6 +169,24 @@ std::string prometheus_sanitize_name(std::string_view name) {
   return out;
 }
 
+std::string prometheus_escape_help(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
 namespace {
 
 void prom_number(std::ostream& os, double v) {
@@ -174,13 +203,21 @@ void prom_number(std::ostream& os, double v) {
 
 void MetricsRegistry::write_prometheus(std::ostream& os) const {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Caller holds mutex_, so look help up directly instead of via help().
+  const auto help_line = [this, &os](const std::string& name, const std::string& prom) {
+    const auto it = help_.find(name);
+    const std::string& text = it == help_.end() ? name : it->second;
+    os << "# HELP " << prom << " " << prometheus_escape_help(text) << "\n";
+  };
   for (const auto& [name, c] : counters_) {
     const std::string prom = prometheus_sanitize_name(name);
+    help_line(name, prom);
     os << "# TYPE " << prom << " counter\n";
     os << prom << " " << c.value() << "\n";
   }
   for (const auto& [name, g] : gauges_) {
     const std::string prom = prometheus_sanitize_name(name);
+    help_line(name, prom);
     os << "# TYPE " << prom << " gauge\n";
     os << prom << " ";
     prom_number(os, g.value());
@@ -189,6 +226,7 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
   for (const auto& [name, h] : histograms_) {
     const std::string prom = prometheus_sanitize_name(name);
     const auto& s = h.stats();
+    help_line(name, prom);
     os << "# TYPE " << prom << " summary\n";
     for (const auto& [q, label] :
          {std::pair<double, const char*>{0.50, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}}) {

@@ -130,6 +130,14 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
+  /// Attach operator-facing help text to a metric name, surfaced as the
+  /// Prometheus `# HELP` line.  Idempotent; last writer wins.  Metrics
+  /// without help fall back to their raw (pre-sanitisation) name, so the
+  /// exposition always carries a HELP line per family.
+  void set_help(std::string_view name, std::string_view help);
+  /// The registered help text for `name`, or "" when none was set.
+  [[nodiscard]] std::string help(std::string_view name) const;
+
   /// Zero every registered metric (registrations stay).
   void reset();
   /// Total number of registered metrics across the three kinds.
@@ -157,7 +165,12 @@ class MetricsRegistry {
   std::map<std::string, Counter, std::less<>> counters_;
   std::map<std::string, Gauge, std::less<>> gauges_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> help_;
 };
+
+/// Escape Prometheus HELP text: backslash and newline must be
+/// backslash-escaped (double quotes are legal in HELP, unlike labels).
+[[nodiscard]] std::string prometheus_escape_help(std::string_view value);
 
 /// Escape a Prometheus label value: backslash, double quote, and newline
 /// must be backslash-escaped inside the quoted label string.

@@ -1,0 +1,131 @@
+#include "serve/monitor.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "report/json_value.hpp"
+#include "robust/error.hpp"
+
+namespace terrors::serve {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what) { robust::raise(robust::Category::kInput, what); }
+
+std::string format_ms(double seconds) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << seconds * 1000.0 << "ms";
+  return os.str();
+}
+
+std::string format_rate(double per_second) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << per_second << "/s";
+  return os.str();
+}
+
+std::string format_percent(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << fraction * 100.0 << "%";
+  return os.str();
+}
+
+/// hits / (hits + misses), rendered as "p% (h/t)"; "-" before any lookup.
+std::string hit_rate(std::uint64_t hits, std::uint64_t misses) {
+  const std::uint64_t total = hits + misses;
+  if (total == 0) return "-";
+  return format_percent(static_cast<double>(hits) / static_cast<double>(total)) + " (" +
+         std::to_string(hits) + "/" + std::to_string(total) + ")";
+}
+
+}  // namespace
+
+std::uint64_t MonitorSample::counter(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MonitorSample::gauge(std::string_view name) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+const MonitorSample::Hist* MonitorSample::hist(std::string_view name) const {
+  const auto it = histograms.find(std::string(name));
+  return it == histograms.end() ? nullptr : &it->second;
+}
+
+MonitorSample parse_metrics_sample(const report::JsonValue& doc) {
+  if (!doc.is_object()) bad("metrics document must be a JSON object");
+  MonitorSample sample;
+  const report::JsonValue* counters = doc.find("counters");
+  const report::JsonValue* gauges = doc.find("gauges");
+  const report::JsonValue* histograms = doc.find("histograms");
+  if (counters == nullptr || gauges == nullptr || histograms == nullptr) {
+    bad("metrics document is missing counters/gauges/histograms");
+  }
+  for (const auto& [name, value] : counters->members()) {
+    sample.counters.emplace(name, value.as_uint());
+  }
+  for (const auto& [name, value] : gauges->members()) {
+    sample.gauges.emplace(name, value.as_number());
+  }
+  for (const auto& [name, value] : histograms->members()) {
+    MonitorSample::Hist h;
+    if (const auto* v = value.find("count")) h.count = v->as_uint();
+    if (const auto* v = value.find("mean")) h.mean = v->as_number();
+    if (const auto* v = value.find("p50")) h.p50 = v->as_number();
+    if (const auto* v = value.find("p95")) h.p95 = v->as_number();
+    if (const auto* v = value.find("p99")) h.p99 = v->as_number();
+    sample.histograms.emplace(name, h);
+  }
+  return sample;
+}
+
+void write_monitor_text(const MonitorSample* prev, const MonitorSample& cur,
+                        double interval_seconds, std::ostream& os) {
+  const std::uint64_t requests = cur.counter("serve.requests");
+  const std::uint64_t errors = cur.counter("serve.errors");
+
+  os << "terrors serve · requests " << requests;
+  if (prev != nullptr && interval_seconds > 0.0) {
+    const std::uint64_t before = prev->counter("serve.requests");
+    const double delta = requests >= before ? static_cast<double>(requests - before) : 0.0;
+    os << " (" << format_rate(delta / interval_seconds) << ")";
+  }
+  os << " · errors " << errors;
+  if (requests > 0) {
+    os << " (" << format_percent(static_cast<double>(errors) / static_cast<double>(requests))
+       << ")";
+  }
+  os << "\n";
+
+  os << "sessions: " << cur.gauge("serve.sessions_active") << " active · "
+     << cur.counter("serve.sessions") << " total · queue depth "
+     << cur.gauge("serve.queue_depth") << " (peak " << cur.gauge("serve.queue_depth_peak")
+     << ") · rejected " << cur.counter("serve.rejected") << " · coalesced "
+     << cur.counter("serve.coalesced") << "\n";
+
+  os << "latency:";
+  if (const auto* h = cur.hist("serve.request_seconds"); h != nullptr && h->count > 0) {
+    os << " p50 " << format_ms(h->p50) << " · p95 " << format_ms(h->p95) << " · p99 "
+       << format_ms(h->p99) << " (n=" << h->count << ")";
+  } else {
+    os << " -";
+  }
+  if (const auto* h = cur.hist("serve.queue_wait_seconds"); h != nullptr && h->count > 0) {
+    os << " · queue-wait p95 " << format_ms(h->p95);
+  }
+  if (const auto* h = cur.hist("serve.executor_seconds"); h != nullptr && h->count > 0) {
+    os << " · executor p95 " << format_ms(h->p95);
+  }
+  os << "\n";
+
+  os << "cache: memory "
+     << hit_rate(cur.counter("serve.mem_cache.hits"), cur.counter("serve.mem_cache.misses"))
+     << " · disk " << hit_rate(cur.counter("cache.hits"), cur.counter("cache.misses"))
+     << " · degraded " << cur.counter("robust.degraded") << " · trace served "
+     << cur.counter("serve.trace_served") << "\n";
+}
+
+}  // namespace terrors::serve

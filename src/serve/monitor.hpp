@@ -1,0 +1,53 @@
+// `terrors top` — live text monitor over a running daemon (DESIGN §5i).
+//
+// The CLI polls the daemon's `metrics` op once per interval and renders a
+// small operator dashboard: request rate, in-flight sessions and queue
+// depth, latency quantiles, cache hit rates, and degradation counts.
+// The poll/render split lives here so tests can feed canned metrics JSON
+// through parse_metrics_sample / write_monitor_text without a socket.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace terrors::report {
+class JsonValue;
+}
+
+namespace terrors::serve {
+
+/// One decoded `metrics` snapshot (the daemon's write_json document).
+struct MonitorSample {
+  struct Hist {
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Hist> histograms;
+
+  /// Missing names read as zero: the daemon registers metrics lazily, so
+  /// a fresh process legitimately lacks most families.
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] const Hist* hist(std::string_view name) const;
+};
+
+/// Decode the object under the metrics envelope's "metrics" key
+/// ({"counters":{...},"gauges":{...},"histograms":{...}}).  Throws
+/// robust::Error (kInput) when the document has the wrong shape.
+[[nodiscard]] MonitorSample parse_metrics_sample(const report::JsonValue& doc);
+
+/// Render one dashboard frame.  `prev` (may be null on the first frame)
+/// and `interval_seconds` turn cumulative counters into rates.
+void write_monitor_text(const MonitorSample* prev, const MonitorSample& cur,
+                        double interval_seconds, std::ostream& os);
+
+}  // namespace terrors::serve

@@ -111,6 +111,14 @@ Request parse_request(std::string_view line) {
         req.report_mc = bounded_uint(value, "report_mc", kMaxReportMc);
         continue;
       }
+      if (key == "trace") {
+        req.trace = value.as_bool();
+        continue;
+      }
+      if (key == "profile") {
+        req.profile = value.as_bool();
+        continue;
+      }
     }
     bad("unknown request field '" + key + "' for op '" + op + "'");
   }
@@ -134,6 +142,8 @@ std::uint64_t request_signature(const Request& req) {
   h.f64(req.scale);
   h.u64(req.runs);
   h.u64(req.report_mc);
+  h.u64(req.trace ? 1 : 0);
+  h.u64(req.profile ? 1 : 0);
   return h.digest();
 }
 

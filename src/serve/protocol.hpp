@@ -11,15 +11,25 @@
 //   {"op":"list"}
 //   {"op":"metrics","format":"prometheus"}          // or "json" (default)
 //   {"op":"analyze","benchmark":"patricia",
-//    "period":1300.0,"scale":1e-4,"runs":4,"report_mc":0,"id":"c1"}
+//    "period":1300.0,"scale":1e-4,"runs":4,"report_mc":0,"id":"c1",
+//    "trace":false,"profile":false}
 //
 // The optional "id" (any string up to 256 bytes) is echoed verbatim in
-// the response envelope for client-side correlation.  Analyze responses
-// embed the exact report JSON the CLI's `analyze --report` writes, as the
-// *last* envelope key, byte-identical to a cold CLI run:
+// the response envelope for client-side correlation; analyze requests
+// without one are assigned a daemon-derived id ("req-N") so every served
+// run is addressable in logs and the access journal (DESIGN §5i).
+// Analyze responses embed the exact report JSON the CLI's `analyze
+// --report` writes, as the *last* envelope key, byte-identical to a cold
+// CLI run:
 //
 //   {"ok":true,"op":"analyze","id":"c1","run_id":"...","coalesced":false,
 //    "elapsed_seconds":1.23,"report":{...}}
+//
+// Setting "trace":true / "profile":true asks for deep telemetry: the
+// envelope gains a "trace" (Chrome trace-event JSON) and/or "profile"
+// (folded-stacks text) key ahead of "report".  Telemetry is capped at
+// kMaxTelemetryBytes per key; over the cap the key is served as null.
+// Report bytes are unaffected either way.
 //
 // Errors map the robust taxonomy onto per-request envelopes — a bad
 // request never kills the daemon:
@@ -40,6 +50,8 @@ namespace terrors::serve {
 inline constexpr std::uint64_t kMaxRuns = 1024;
 inline constexpr std::uint64_t kMaxReportMc = 1000000;
 inline constexpr std::size_t kMaxIdBytes = 256;
+/// Per-key ceiling on served deep telemetry (trace / profile payloads).
+inline constexpr std::size_t kMaxTelemetryBytes = 4u << 20;
 
 /// One validated request.  Defaults mirror the CLI's analyze defaults so
 /// {"op":"analyze","benchmark":"x"} means the same as `terrors analyze x`.
@@ -54,6 +66,8 @@ struct Request {
   std::uint64_t runs = 4;     ///< analyze: input datasets
   std::uint64_t report_mc = 0;  ///< analyze: Monte-Carlo cross-check trials
   bool prometheus = false;    ///< metrics: text exposition instead of JSON
+  bool trace = false;         ///< analyze: serve Chrome-trace spans in the envelope
+  bool profile = false;       ///< analyze: serve folded stacks in the envelope
 };
 
 /// Parse + validate one request line.  Throws robust::Error (kInput) on
@@ -62,9 +76,11 @@ struct Request {
 [[nodiscard]] Request parse_request(std::string_view line);
 
 /// Coalescing signature of an analyze request: a content hash over every
-/// field that influences the report bytes — and nothing else ("id" is
+/// field that influences the response payload — and nothing else ("id" is
 /// excluded).  Two requests with equal signatures are satisfied by one
-/// characterization (single-flight, see server.hpp).
+/// characterization (single-flight, see server.hpp).  The telemetry flags
+/// participate: a traced request must not be satisfied by an untraced
+/// flight that captured no spans (and vice versa).
 [[nodiscard]] std::uint64_t request_signature(const Request& req);
 
 [[nodiscard]] std::string_view op_name(Request::Op op);

@@ -7,6 +7,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -14,6 +15,9 @@
 #include "core/framework.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/run_context.hpp"
+#include "obs/trace.hpp"
 #include "report/attribution.hpp"
 #include "report/run_report.hpp"
 #include "serve/session.hpp"
@@ -29,13 +33,47 @@ struct ServeMetrics {
   obs::Counter& sessions = obs::MetricsRegistry::instance().counter("serve.sessions");
   obs::Gauge& sessions_active = obs::MetricsRegistry::instance().gauge("serve.sessions_active");
   obs::Gauge& queue_depth = obs::MetricsRegistry::instance().gauge("serve.queue_depth");
+  obs::Gauge& queue_depth_peak = obs::MetricsRegistry::instance().gauge("serve.queue_depth_peak");
   obs::Counter& rejected = obs::MetricsRegistry::instance().counter("serve.rejected");
   obs::Counter& coalesced = obs::MetricsRegistry::instance().counter("serve.coalesced");
+  obs::Counter& access_journal_errors =
+      obs::MetricsRegistry::instance().counter("serve.access_journal_errors");
+  obs::Histogram& queue_wait =
+      obs::MetricsRegistry::instance().histogram("serve.queue_wait_seconds");
+  obs::Histogram& executor_seconds =
+      obs::MetricsRegistry::instance().histogram("serve.executor_seconds");
 };
 
 ServeMetrics& metrics() {
   static ServeMetrics m;
   return m;
+}
+
+/// Operator-facing HELP text for the serve metric families (satellite of
+/// DESIGN §5i): surfaced verbatim in the Prometheus exposition.
+void register_metric_help() {
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.set_help("serve.sessions", "Connections accepted since daemon start.");
+  reg.set_help("serve.sessions_active", "Live session threads right now.");
+  reg.set_help("serve.queue_depth", "Analyze requests waiting in the admission queue.");
+  reg.set_help("serve.queue_depth_peak", "High-water admission queue depth since start.");
+  reg.set_help("serve.rejected", "Analyze requests bounced because the queue was full.");
+  reg.set_help("serve.coalesced", "Analyze requests satisfied by an in-flight identical leader.");
+  reg.set_help("serve.access_journal_errors", "Access-journal append failures (requests unaffected).");
+  reg.set_help("serve.queue_wait_seconds", "Admission-queue dwell per executed analyze, seconds.");
+  reg.set_help("serve.executor_seconds", "Executor wall time per analyze, seconds.");
+  reg.set_help("serve.requests", "Request frames parsed across all sessions.");
+  reg.set_help("serve.errors", "Requests answered with an error envelope.");
+  reg.set_help("serve.request_seconds", "End-to-end request latency across all ops, seconds.");
+  reg.set_help("serve.request_seconds.ping", "End-to-end ping latency, seconds.");
+  reg.set_help("serve.request_seconds.list", "End-to-end list latency, seconds.");
+  reg.set_help("serve.request_seconds.metrics", "End-to-end metrics latency, seconds.");
+  reg.set_help("serve.request_seconds.analyze", "End-to-end analyze latency, seconds.");
+  reg.set_help("serve.request_seconds.invalid", "Latency of requests that failed to parse, seconds.");
+  reg.set_help("serve.trace_served", "Responses that carried trace or profile telemetry.");
+  reg.set_help("serve.trace_capped", "Telemetry payloads served as null over the size cap.");
+  reg.set_help("journal.events", "Run-journal events appended.");
+  reg.set_help("journal.access_events", "Access-journal events appended.");
 }
 
 [[noreturn]] void resource_error(const std::string& what) {
@@ -77,6 +115,7 @@ Server::~Server() {
 }
 
 void Server::start() {
+  register_metric_help();
   if (::pipe(wake_pipe_) != 0) resource_error("cannot create wake pipe");
 
   if (config_.socket_path.empty()) {
@@ -188,10 +227,35 @@ std::shared_ptr<Flight> Server::submit(const Request& req, bool& coalesced) {
   }
   auto flight = std::make_shared<Flight>();
   flights_.emplace(signature, flight);
-  queue_.push_back(Job{signature, req, flight});
-  metrics().queue_depth.set(static_cast<double>(queue_.size()));
+  queue_.push_back(Job{signature, req, flight, std::chrono::steady_clock::now()});
+  const auto depth = static_cast<std::uint64_t>(queue_.size());
+  metrics().queue_depth.set(static_cast<double>(depth));
+  std::uint64_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  while (depth > peak &&
+         !queue_depth_peak_.compare_exchange_weak(peak, depth, std::memory_order_relaxed)) {
+  }
+  metrics().queue_depth_peak.set(static_cast<double>(queue_depth_peak()));
   queue_cv_.notify_all();
   return flight;
+}
+
+void Server::record_access(obs::AccessEvent event) {
+  if (config_.access_journal_path.empty()) return;
+  event.unix_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  event.queue_depth_peak = queue_depth_peak();
+  try {
+    obs::append_access_event(config_.access_journal_path, event);
+  } catch (const std::exception& e) {
+    // Peripheral by contract: the request already succeeded (or failed on
+    // its own terms); losing its journal line must not change that.
+    metrics().access_journal_errors.increment();
+    obs::log_warn_once("serve.access_journal", "serve",
+                       "access journal append failed; continuing without it",
+                       {{"path", config_.access_journal_path}, {"error", e.what()}});
+  }
 }
 
 void Server::executor_loop() {
@@ -208,7 +272,16 @@ void Server::executor_loop() {
       queue_.pop_front();
       metrics().queue_depth.set(static_cast<double>(queue_.size()));
     }
+    const auto dequeued = std::chrono::steady_clock::now();
+    job.flight->queue_wait_seconds =
+        std::chrono::duration<double>(dequeued - job.enqueued).count();
+    metrics().queue_wait.observe(job.flight->queue_wait_seconds);
     execute(job);
+    // Filled before the flight mutex publishes `done`, so waiters read a
+    // consistent pair.
+    job.flight->executor_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - dequeued).count();
+    metrics().executor_seconds.observe(job.flight->executor_seconds);
     {
       // Retire the flight before publishing completion: a submitter
       // holding queue_mutex_ either attaches to the still-registered
@@ -226,6 +299,37 @@ void Server::executor_loop() {
 
 void Server::execute(const Job& job) {
   const Request& req = job.request;
+  // Install the leader's request id for the duration of the analyze:
+  // RunContexts built inside capture it, so the run journal, analyze
+  // logs, and degradation warnings all carry `req=` (DESIGN §5i).
+  obs::RequestScope request_scope(req.id);
+  // On-demand deep telemetry.  The executor is the only thread that
+  // records spans, so enabling the process-wide tracer/profiler here
+  // scopes the capture to exactly this flight.  Always disabled again
+  // (including on failure) so an untraced request never pays for — or
+  // observes — a previous traced one.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  obs::SpanProfiler& profiler = obs::SpanProfiler::instance();
+  if (req.trace) {
+    tracer.reset();
+    tracer.set_enabled(true);
+  }
+  if (req.profile) {
+    profiler.reset();
+    profiler.start();
+  }
+  struct TelemetryGuard {
+    const Request& req;
+    obs::Tracer& tracer;
+    obs::SpanProfiler& profiler;
+    ~TelemetryGuard() {
+      if (req.trace) {
+        tracer.set_enabled(false);
+        tracer.reset();
+      }
+      if (req.profile) profiler.stop();
+    }
+  } telemetry_guard{req, tracer, profiler};
   try {
     // Mirror the CLI's analyze flow exactly (tools/terrors_cli.cpp): a
     // fresh framework per request, so the analyze ordinal is 0 and the
@@ -261,6 +365,31 @@ void Server::execute(const Job& job) {
       job.flight->report_json.pop_back();
     }
     job.flight->run_id = result.run_id;
+    if (req.trace) {
+      tracer.set_enabled(false);
+      std::ostringstream trace_os;
+      tracer.write_chrome_trace(trace_os);
+      std::string trace = trace_os.str();
+      // write_chrome_trace terminates with '\n'; strip it so the document
+      // splices into a single-line envelope.
+      while (!trace.empty() && trace.back() == '\n') trace.pop_back();
+      if (trace.size() > kMaxTelemetryBytes) {
+        job.flight->trace_capped = true;
+      } else {
+        job.flight->trace_json = std::move(trace);
+      }
+    }
+    if (req.profile) {
+      profiler.stop();
+      std::ostringstream folded_os;
+      profiler.write_folded(folded_os);
+      std::string folded = folded_os.str();
+      if (folded.size() > kMaxTelemetryBytes) {
+        job.flight->profile_capped = true;
+      } else {
+        job.flight->profile_folded = std::move(folded);
+      }
+    }
   } catch (const std::exception& e) {
     job.flight->failed = true;
     if (const auto* err = dynamic_cast<const robust::Error*>(&e)) {
@@ -271,7 +400,9 @@ void Server::execute(const Job& job) {
       job.flight->error_message = e.what();
     }
     obs::log_warn("serve", "analysis failed",
-                  {{"benchmark", req.benchmark}, {"error", job.flight->error_message}});
+                  {{"benchmark", req.benchmark},
+                   {"req", req.id},
+                   {"error", job.flight->error_message}});
   }
 }
 
@@ -303,7 +434,14 @@ void Server::accept_loop() {
       handle->fd = fd;
       SessionHandle* raw = handle.get();
       handle->thread = std::thread([this, raw] {
-        Session(*this, raw->fd, config_.max_frame_bytes).run();
+        // The catch guarantees the gauge decrements on EVERY session exit
+        // path — a throwing session must not leak an "active" session
+        // forever (satellite: gauge-balance audit).
+        try {
+          Session(*this, raw->fd, config_.max_frame_bytes).run();
+        } catch (const std::exception& e) {
+          obs::log_warn("serve", "session thread failed", {{"error", e.what()}});
+        }
         metrics().sessions_active.add(-1.0);
         raw->done.store(true);
       });

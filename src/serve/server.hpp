@@ -32,6 +32,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -43,6 +44,7 @@
 #include <vector>
 
 #include "netlist/pipeline.hpp"
+#include "obs/journal.hpp"
 #include "robust/error.hpp"
 #include "serve/memory_cache.hpp"
 #include "serve/protocol.hpp"
@@ -63,6 +65,10 @@ struct ServerConfig {
   std::size_t max_frame_bytes = 1 << 20;
   /// Optional on-disk cache directory layered *below* the memory tier.
   std::string cache_dir;
+  /// Optional serve access journal: one wide JSONL event per request
+  /// (DESIGN §5i).  "" disables.  Peripheral like the run journal — an
+  /// append failure degrades, it never fails a request.
+  std::string access_journal_path;
 };
 
 /// One coalesced unit of analysis work.  The leader's executor run fills
@@ -78,6 +84,20 @@ struct Flight {
   std::string run_id;
   robust::Category error_category = robust::Category::kInternal;
   std::string error_message;
+
+  // Phase timings, filled by the executor before `done` is published
+  // (visibility rides on the flight mutex).  Followers report the
+  // leader's numbers — they paid the same wall-clock wait.
+  double queue_wait_seconds = 0.0;
+  double executor_seconds = 0.0;
+
+  // On-demand deep telemetry (request had "trace"/"profile" set).  Empty
+  // plus the matching `*_capped` flag means the payload exceeded
+  // kMaxTelemetryBytes and is served as null.
+  std::string trace_json;      ///< complete Chrome trace-event document
+  std::string profile_folded;  ///< folded-stack text
+  bool trace_capped = false;
+  bool profile_capped = false;
 };
 
 class Server {
@@ -114,6 +134,16 @@ class Server {
   /// whether the caller attached to an existing flight.
   std::shared_ptr<Flight> submit(const Request& req, bool& coalesced);
 
+  /// Append one access-journal event (no-op without --access-journal).
+  /// Fills unix_ms and queue_depth_peak; never throws — a journal failure
+  /// is logged once and counted in serve.access_journal_errors.
+  void record_access(obs::AccessEvent event);
+
+  /// High-water admission-queue depth since start (monotone).
+  [[nodiscard]] std::uint64_t queue_depth_peak() const {
+    return queue_depth_peak_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] const MemoryArtifactTier& memory_tier() const { return tier_; }
   /// Actually bound TCP port (differs from config when ephemeral), -1 if
@@ -125,6 +155,7 @@ class Server {
     std::uint64_t signature = 0;
     Request request;
     std::shared_ptr<Flight> flight;
+    std::chrono::steady_clock::time_point enqueued;
   };
 
   struct SessionHandle {
@@ -161,6 +192,7 @@ class Server {
   std::thread executor_;
   std::vector<std::unique_ptr<SessionHandle>> sessions_;
   std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> queue_depth_peak_{0};
 };
 
 }  // namespace terrors::serve

@@ -3,12 +3,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <sstream>
 
 #include "obs/json.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/run_context.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "workloads/specs.hpp"
@@ -27,10 +29,35 @@ obs::Counter& errors_counter() {
   return c;
 }
 
+obs::Counter& trace_served_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("serve.trace_served");
+  return c;
+}
+
+obs::Counter& trace_capped_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("serve.trace_capped");
+  return c;
+}
+
 obs::Histogram& latency_histogram() {
   static obs::Histogram& h =
       obs::MetricsRegistry::instance().histogram("serve.request_seconds");
   return h;
+}
+
+/// Per-op latency family, e.g. serve.request_seconds.analyze.  Parse
+/// failures land under "invalid".  Registration is find-or-create behind
+/// the registry mutex — fine off the simulation hot paths.
+obs::Histogram& op_latency_histogram(std::string_view op) {
+  return obs::MetricsRegistry::instance().histogram(std::string("serve.request_seconds.") +
+                                                    std::string(op));
+}
+
+/// Daemon-derived analyze request ids: "req-1", "req-2", ... — unique for
+/// the process lifetime, assigned when the client did not send an "id".
+std::string derive_request_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return "req-" + std::to_string(next.fetch_add(1, std::memory_order_relaxed));
 }
 
 /// Common envelope prefix: {"ok":...,"op":"...","id":"..." — the id is
@@ -75,7 +102,12 @@ void Session::run() {
       const robust::Error err(robust::Category::kInput,
                               "request frame exceeds " + std::to_string(max_frame_bytes_) +
                                   " bytes");
+      access_ = obs::AccessEvent{};
+      last_reply_bytes_ = 0;
       reply_error("", "", err);
+      access_.op = "invalid";
+      access_.response_bytes = last_reply_bytes_;
+      server_.record_access(access_);
       break;
     }
   }
@@ -85,13 +117,32 @@ void Session::run() {
 void Session::handle_line(std::string_view line) {
   const auto started = std::chrono::steady_clock::now();
   requests_counter().increment();
+  access_ = obs::AccessEvent{};
+  last_reply_bytes_ = 0;
+  // One access event per request line, whatever happens below: the
+  // handlers fill identity/outcome fields and `finalize` appends.
+  const auto finalize = [&](std::string_view op) {
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
+    latency_histogram().observe(elapsed.count());
+    op_latency_histogram(op).observe(elapsed.count());
+    access_.op = std::string(op);
+    access_.total_seconds = elapsed.count();
+    access_.response_bytes = last_reply_bytes_;
+    server_.record_access(access_);
+  };
   Request req;
   try {
     req = parse_request(line);
   } catch (const std::exception& e) {
     reply_error("", "", e);
+    finalize("invalid");
     return;
   }
+  // Analyze requests without a client id get a daemon-derived one, so
+  // every served run is addressable in logs and the access journal; the
+  // derived id is echoed in the envelope like a client-supplied one.
+  if (req.op == Request::Op::kAnalyze && req.id.empty()) req.id = derive_request_id();
+  access_.request_id = req.id;
   try {
     switch (req.op) {
       case Request::Op::kPing: {
@@ -142,15 +193,16 @@ void Session::handle_line(std::string_view line) {
   } catch (const std::exception& e) {
     reply_error(op_name(req.op), req.id, e);
   }
-  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - started;
-  latency_histogram().observe(elapsed.count());
+  finalize(op_name(req.op));
 }
 
 void Session::handle_analyze(const Request& req) {
   const auto started = std::chrono::steady_clock::now();
+  access_.signature = obs::format_run_id(request_signature(req));
   bool coalesced = false;
   const std::shared_ptr<Flight> flight = server_.submit(req, coalesced);
   if (flight == nullptr) {
+    access_.rejected = true;
     const robust::Error err(robust::Category::kResource,
                             "analysis queue is full (" +
                                 std::to_string(server_.config().max_queue) +
@@ -158,10 +210,17 @@ void Session::handle_analyze(const Request& req) {
     reply_error("analyze", req.id, err);
     return;
   }
+  access_.coalesced = coalesced;
   {
     std::unique_lock<std::mutex> lock(flight->mutex);
     flight->cv.wait(lock, [&] { return flight->done; });
   }
+  // Followers inherit the leader's run id and phase timings — they paid
+  // the same wall-clock wait, and sharing the run id is what lets an
+  // operator group a coalesced burst in the access journal.
+  access_.run_id = flight->run_id;
+  access_.queue_wait_seconds = flight->queue_wait_seconds;
+  access_.executor_seconds = flight->executor_seconds;
   if (flight->failed) {
     const robust::Error err(flight->error_category, flight->error_message);
     reply_error("analyze", req.id, err);
@@ -175,6 +234,28 @@ void Session::handle_analyze(const Request& req) {
   os << ",\"coalesced\":" << (coalesced ? "true" : "false");
   os << ",\"elapsed_seconds\":";
   obs::json_number(os, elapsed.count());
+  // Requested deep telemetry rides ahead of the report; an over-cap
+  // payload is served as null so the envelope stays bounded.
+  if (req.trace || req.profile) {
+    trace_served_counter().increment();
+    if (flight->trace_capped || flight->profile_capped) trace_capped_counter().increment();
+  }
+  if (req.trace) {
+    os << ",\"trace\":";
+    if (flight->trace_capped) {
+      os << "null";
+    } else {
+      os << flight->trace_json;  // complete Chrome trace-event document
+    }
+  }
+  if (req.profile) {
+    os << ",\"profile\":";
+    if (flight->profile_capped) {
+      os << "null";
+    } else {
+      obs::json_string(os, flight->profile_folded);
+    }
+  }
   // The report is the LAST envelope key and its bytes are spliced in
   // verbatim: clients (and the byte-identity tests) recover exactly what
   // `analyze --report` would have written by stripping the envelope's
@@ -194,6 +275,8 @@ void Session::reply_error(std::string_view op, std::string_view id, const std::e
     category = robust::classify(e);
     message = e.what();
   }
+  access_.ok = false;
+  access_.error_category = std::string(robust::category_name(category));
   std::ostringstream os;
   envelope_head(os, false, op, id);
   os << ",\"error\":{\"category\":";
@@ -207,6 +290,7 @@ void Session::reply_error(std::string_view op, std::string_view id, const std::e
 void Session::reply(std::string_view payload) {
   std::string frame(payload);
   frame.push_back('\n');
+  last_reply_bytes_ = frame.size();
   std::size_t sent = 0;
   while (sent < frame.size()) {
     // MSG_NOSIGNAL: a client that disconnected mid-response must not

@@ -8,6 +8,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/journal.hpp"
+
 namespace terrors::serve {
 
 class Server;
@@ -39,6 +41,11 @@ class Session {
   int fd_;
   std::size_t max_frame_bytes_;
   bool dead_ = false;
+  /// The wide event being assembled for the in-flight request line;
+  /// handle_line resets it, the op handlers fill identity/outcome fields,
+  /// and Server::record_access appends it (DESIGN §5i).
+  obs::AccessEvent access_;
+  std::size_t last_reply_bytes_ = 0;  ///< frame size of the latest reply()
 };
 
 }  // namespace terrors::serve

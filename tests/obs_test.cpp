@@ -395,10 +395,21 @@ TEST(PrometheusTest, ExpositionHasTypesValuesAndQuantileLabels) {
   auto& h = reg.histogram("test.prom_hist");
   h.reset();
   for (int i = 1; i <= 4; ++i) h.observe(static_cast<double>(i));
+  reg.set_help("test.prom_counter", "Registered help text.\nWith a newline \\ backslash.");
 
   std::ostringstream os;
   reg.write_prometheus(os);
   const std::string text = os.str();
+  // Every family gets a HELP line before its TYPE line: registered text
+  // (escaped per the exposition format) or the raw dotted name as a
+  // fallback, so scrapes always see the internal metric identity.
+  EXPECT_NE(text.find("# HELP terrors_test_prom_counter "
+                      "Registered help text.\\nWith a newline \\\\ backslash."),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP terrors_test_prom_gauge test.prom_gauge"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# HELP terrors_test_prom_hist test.prom_hist"), std::string::npos) << text;
   EXPECT_NE(text.find("# TYPE terrors_test_prom_counter counter"), std::string::npos) << text;
   EXPECT_NE(text.find("terrors_test_prom_counter 3"), std::string::npos) << text;
   EXPECT_NE(text.find("# TYPE terrors_test_prom_gauge gauge"), std::string::npos) << text;

@@ -1,0 +1,749 @@
+// Serve observability contracts (DESIGN §5i):
+//  1. Access-journal schema: access_event_line emits one parseable JSON
+//     object per request and report::access_event_from_json inverts it
+//     exactly; append_access_event produces a line-delimited file that
+//     load_access_journal reads back in order, and concurrent appenders
+//     interleave whole events, never bytes (O_APPEND).
+//  2. Request-id propagation: RequestScope installs/restores the id,
+//     RunEvent carries it only inside the daemon (CLI journal bytes are
+//     unchanged), and analyze requests without a client id get a derived
+//     "req-N" echoed in the envelope and the journal.
+//  3. Aggregation: terrors stats --serve computes per-op latency
+//     quantiles, queue-wait share, coalesce/error rates from a known
+//     event set, and the SLO gate trips on latency or error-rate burn.
+//  4. Daemon end-to-end: one access event per request — including
+//     rejected and coalesced requests (followers share the leader's run
+//     id) — with nonzero latencies; trace/profile envelope keys appear
+//     only on request and never perturb the report bytes; the
+//     sessions_active and queue_depth gauges return to zero after
+//     fault-heavy sessions.
+//  5. Monitor: parse_metrics_sample / write_monitor_text render a
+//     dashboard frame from canned metrics JSON without a socket.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netlist/pipeline.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/run_context.hpp"
+#include "report/journal_stats.hpp"
+#include "report/json_value.hpp"
+#include "robust/error.hpp"
+#include "serve/monitor.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace terrors {
+namespace {
+
+const netlist::Pipeline& pipeline() {
+  static const netlist::Pipeline p = netlist::build_pipeline({});
+  return p;
+}
+
+std::string socket_path(const char* tag) {
+  return "/tmp/terrors_obs_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+std::string temp_path(const char* tag) {
+  return ::testing::TempDir() + "serve_obs_test_" + tag + ".jsonl";
+}
+
+/// Blocking line-oriented client over a Unix-domain socket.
+class Client {
+ public:
+  explicit Client(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  bool send_raw(std::string_view bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool send_line(const std::string& line) { return send_raw(line + "\n"); }
+
+  std::string read_line() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  std::string rpc(const std::string& request) {
+    EXPECT_TRUE(send_line(request));
+    return read_line();
+  }
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// RAII server on its own thread; the socket accepts when the
+/// constructor returns.
+struct ServerRunner {
+  explicit ServerRunner(serve::ServerConfig cfg) : server(pipeline(), std::move(cfg)) {
+    server.start();
+    thread = std::thread([this] { server.run(); });
+  }
+  ~ServerRunner() {
+    server.stop();
+    if (thread.joinable()) thread.join();
+  }
+  serve::Server server;
+  std::thread thread;
+};
+
+/// The report bytes spliced into an analyze envelope: the report is the
+/// LAST key, so rfind is robust even when a served trace document rides
+/// ahead of it in the same envelope.
+std::string report_from_envelope(const std::string& envelope) {
+  const std::string marker = ",\"report\":";
+  const std::size_t at = envelope.rfind(marker);
+  if (at == std::string::npos || envelope.empty() || envelope.back() != '}') {
+    ADD_FAILURE() << "no report in envelope: " << envelope.substr(0, 200);
+    return "";
+  }
+  return envelope.substr(at + marker.size(), envelope.size() - at - marker.size() - 1) + "\n";
+}
+
+/// Zero the wall-clock fields in raw report JSON so byte comparisons
+/// cover every deterministic field.
+std::string zero_seconds(std::string text) {
+  for (const char* key :
+       {"\"training_seconds\":", "\"simulation_seconds\":", "\"estimation_seconds\":"}) {
+    const std::size_t key_len = std::strlen(key);
+    for (std::size_t pos = text.find(key); pos != std::string::npos;
+         pos = text.find(key, pos + 1)) {
+      const std::size_t start = pos + key_len;
+      std::size_t end = start;
+      while (end < text.size() && text[end] != ',' && text[end] != '}') ++end;
+      text.replace(start, end - start, "0");
+    }
+  }
+  return text;
+}
+
+std::uint64_t counter(const char* name) {
+  return obs::MetricsRegistry::instance().counter(name).value();
+}
+
+/// The access event is appended after the response frame is sent, so a
+/// client that just read its reply can beat the journal write; poll.
+std::vector<obs::AccessEvent> wait_for_events(const std::string& path, std::size_t n) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    std::vector<obs::AccessEvent> events;
+    try {
+      events = report::load_access_journal(path);
+    } catch (const robust::Error&) {
+      // Not created yet (or a line is mid-write); keep polling.
+    }
+    if (events.size() >= n || std::chrono::steady_clock::now() >= deadline) return events;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+double gauge(const char* name) {
+  return obs::MetricsRegistry::instance().gauge(name).value();
+}
+
+obs::AccessEvent sample_access(const std::string& id, const std::string& op, double total) {
+  obs::AccessEvent e;
+  e.request_id = id;
+  e.op = op;
+  e.signature = op == "analyze" ? "00000000cafef00d" : "";
+  e.run_id = op == "analyze" ? "00000000deadbeef" : "";
+  e.unix_ms = 1700000000000ULL;
+  e.queue_wait_seconds = op == "analyze" ? total * 0.25 : 0.0;
+  e.executor_seconds = op == "analyze" ? total * 0.5 : 0.0;
+  e.total_seconds = total;
+  e.response_bytes = 100;
+  e.queue_depth_peak = 1;
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// 1. Access-journal schema.
+
+TEST(AccessJournalSchema, EventLineRoundTripsThroughReportParser) {
+  obs::AccessEvent e = sample_access("req-7", "analyze", 2.5);
+  e.coalesced = true;
+  e.ok = false;
+  e.error_category = "resource";
+  e.queue_depth_peak = 3;
+  const std::string line = obs::access_event_line(e);
+  const report::JsonValue doc = report::JsonValue::parse(line);
+  const obs::AccessEvent back = report::access_event_from_json(doc);
+
+  EXPECT_EQ(back.schema_version, obs::kAccessJournalSchemaVersion);
+  EXPECT_EQ(back.request_id, e.request_id);
+  EXPECT_EQ(back.op, e.op);
+  EXPECT_EQ(back.signature, e.signature);
+  EXPECT_EQ(back.run_id, e.run_id);
+  EXPECT_EQ(back.unix_ms, e.unix_ms);
+  EXPECT_EQ(back.queue_wait_seconds, e.queue_wait_seconds);
+  EXPECT_EQ(back.executor_seconds, e.executor_seconds);
+  EXPECT_EQ(back.total_seconds, e.total_seconds);
+  EXPECT_EQ(back.coalesced, e.coalesced);
+  EXPECT_EQ(back.rejected, e.rejected);
+  EXPECT_EQ(back.ok, e.ok);
+  EXPECT_EQ(back.error_category, e.error_category);
+  EXPECT_EQ(back.response_bytes, e.response_bytes);
+  EXPECT_EQ(back.queue_depth_peak, e.queue_depth_peak);
+}
+
+TEST(AccessJournalSchema, RejectsWrongKindAndVersion) {
+  // A run event is not an access event, and vice versa.
+  EXPECT_THROW(
+      report::access_event_from_json(report::JsonValue::parse("{\"kind\":\"terrors_run_event\"}")),
+      robust::Error);
+  std::string line = obs::access_event_line(sample_access("x", "ping", 0.001));
+  const std::string needle = "\"schema_version\":1";
+  const auto pos = line.find(needle);
+  ASSERT_NE(pos, std::string::npos);
+  line.replace(pos, needle.size(), "\"schema_version\":999");
+  try {
+    (void)report::access_event_from_json(report::JsonValue::parse(line));
+    FAIL() << "expected robust::Error";
+  } catch (const robust::Error& e) {
+    EXPECT_EQ(e.category(), robust::Category::kArtifact);
+  }
+}
+
+TEST(AccessJournalSchema, AppendProducesLineDelimitedFileReadBackInOrder) {
+  const std::string path = temp_path("append");
+  std::remove(path.c_str());
+  obs::append_access_event(path, sample_access("a", "ping", 0.001));
+  obs::append_access_event(path, sample_access("b", "analyze", 1.5));
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NO_THROW(report::JsonValue::parse(line)) << line;
+  }
+  EXPECT_EQ(lines, 2u);
+
+  const auto events = report::load_access_journal(path);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].request_id, "a");
+  EXPECT_EQ(events[1].request_id, "b");
+  EXPECT_THROW((void)report::load_access_journal("/nonexistent/access.jsonl"), robust::Error);
+  std::remove(path.c_str());
+}
+
+TEST(AccessJournalSchema, ConcurrentAppendsInterleaveWholeEvents) {
+  const std::string path = temp_path("concurrent");
+  std::remove(path.c_str());
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        obs::append_access_event(
+            path, sample_access("t" + std::to_string(t) + "-" + std::to_string(i), "analyze",
+                                0.5));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Every line parses (load throws on a torn write) and every event made
+  // it exactly once — whole-line O_APPEND interleaving.
+  const auto events = report::load_access_journal(path);
+  ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::set<std::string> ids;
+  for (const auto& e : events) ids.insert(e.request_id);
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// 2. Request-id propagation.
+
+TEST(RequestIdPropagation, RunEventCarriesIdOnlyInsideTheDaemon) {
+  obs::RunEvent e;
+  e.run_id = "00000000deadbeef";
+  e.program = "x";
+  // Outside the daemon the field is absent — the CLI journal's bytes are
+  // exactly what they were before request ids existed.
+  EXPECT_EQ(obs::event_line(e).find("request_id"), std::string::npos);
+
+  e.request_id = "req-9";
+  const std::string line = obs::event_line(e);
+  EXPECT_NE(line.find("\"request_id\":\"req-9\""), std::string::npos) << line;
+  const obs::RunEvent back = report::event_from_json(report::JsonValue::parse(line));
+  EXPECT_EQ(back.request_id, "req-9");
+}
+
+TEST(RequestIdPropagation, RequestScopeInstallsAndRestoresAndRunContextCaptures) {
+  EXPECT_EQ(obs::current_request_id(), "");
+  {
+    obs::RequestScope outer("req-outer");
+    EXPECT_EQ(obs::current_request_id(), "req-outer");
+    {
+      obs::RequestScope inner("req-inner");
+      EXPECT_EQ(obs::current_request_id(), "req-inner");
+      // A RunContext built inside the scope captures the id once.
+      obs::RunContext ctx(42, "bench");
+      EXPECT_EQ(ctx.request_id(), "req-inner");
+    }
+    EXPECT_EQ(obs::current_request_id(), "req-outer");
+  }
+  EXPECT_EQ(obs::current_request_id(), "");
+  EXPECT_EQ(obs::RunContext(42, "bench").request_id(), "");
+}
+
+// ---------------------------------------------------------------------------
+// 3. Aggregation and the SLO gate (terrors stats --serve).
+
+std::vector<obs::AccessEvent> golden_events() {
+  std::vector<obs::AccessEvent> events;
+  // Four executed analyzes: totals {1,1,1,5}s, each 25% queue wait.
+  for (const double total : {1.0, 1.0, 1.0, 5.0}) {
+    events.push_back(sample_access("a" + std::to_string(events.size()), "analyze", total));
+  }
+  events[3].coalesced = true;
+  events[3].queue_depth_peak = 3;
+  // One rejected analyze: no timings, resource error.
+  obs::AccessEvent rejected = sample_access("a4", "analyze", 0.001);
+  rejected.rejected = true;
+  rejected.ok = false;
+  rejected.error_category = "resource";
+  rejected.run_id = "";
+  rejected.queue_wait_seconds = 0.0;
+  rejected.executor_seconds = 0.0;
+  events.push_back(rejected);
+  // Two pings and one parse failure.
+  events.push_back(sample_access("p1", "ping", 0.001));
+  events.push_back(sample_access("p2", "ping", 0.001));
+  obs::AccessEvent invalid = sample_access("", "invalid", 0.001);
+  invalid.ok = false;
+  invalid.error_category = "input";
+  events.push_back(invalid);
+  return events;
+}
+
+TEST(AccessStats, AggregateComputesRatesSharesAndPerOpQuantiles) {
+  const report::AccessStats s = report::aggregate_access(golden_events());
+  EXPECT_EQ(s.events, 8u);
+  EXPECT_EQ(s.analyze_events, 5u);  // rejected analyzes still count
+  EXPECT_EQ(s.rejected, 1u);
+  EXPECT_EQ(s.coalesced, 1u);
+  EXPECT_EQ(s.errors, 2u);  // rejected + invalid
+  EXPECT_DOUBLE_EQ(s.error_rate, 2.0 / 8.0);
+  EXPECT_DOUBLE_EQ(s.coalesce_rate, 1.0 / 5.0);
+  // Only executed analyzes feed the latency summaries: {1,1,1,5}.
+  EXPECT_EQ(s.analyze_total_seconds.count, 4u);
+  EXPECT_DOUBLE_EQ(s.analyze_total_seconds.p50, 1.0);
+  EXPECT_DOUBLE_EQ(s.analyze_total_seconds.max, 5.0);
+  // Every executed analyze spent 25% of its wall time queued.
+  EXPECT_DOUBLE_EQ(s.queue_wait_share, 0.25);
+  EXPECT_EQ(s.queue_wait_seconds.count, 4u);
+  EXPECT_EQ(s.executor_seconds.count, 4u);
+  EXPECT_EQ(s.queue_depth_peak, 3u);
+  EXPECT_EQ(s.response_bytes, 800u);
+
+  // name-sorted per-op table: analyze, invalid, ping.
+  ASSERT_EQ(s.ops.size(), 3u);
+  EXPECT_EQ(s.ops[0].op, "analyze");
+  EXPECT_EQ(s.ops[0].events, 5u);
+  EXPECT_EQ(s.ops[0].errors, 1u);
+  EXPECT_EQ(s.ops[1].op, "invalid");
+  EXPECT_EQ(s.ops[1].errors, 1u);
+  EXPECT_EQ(s.ops[2].op, "ping");
+  EXPECT_EQ(s.ops[2].events, 2u);
+  EXPECT_EQ(s.ops[2].errors, 0u);
+
+  // Empty journal aggregates to zeros and renders without tripping.
+  const report::AccessStats empty = report::aggregate_access({});
+  EXPECT_EQ(empty.events, 0u);
+  std::ostringstream os;
+  report::write_access_stats_text(empty, nullptr, os);
+  EXPECT_NE(os.str().find("0 request(s)"), std::string::npos);
+}
+
+TEST(AccessStats, SloGateChecksLatencyAndErrorRateIndependently) {
+  const report::AccessStats s = report::aggregate_access(golden_events());
+  // p99 over {1,1,1,5} is 5s = 5000ms; error rate is 25%.
+  {
+    report::SloConfig cfg;  // both gates disabled by default
+    const report::SloResult r = report::check_slo(s, cfg);
+    EXPECT_FALSE(r.latency_checked);
+    EXPECT_FALSE(r.errors_checked);
+    EXPECT_TRUE(r.ok());
+  }
+  {
+    report::SloConfig cfg;
+    cfg.p99_ms = 6000.0;
+    cfg.error_rate = 0.5;
+    const report::SloResult r = report::check_slo(s, cfg);
+    EXPECT_TRUE(r.latency_checked);
+    EXPECT_TRUE(r.errors_checked);
+    EXPECT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r.p99_ms, 5000.0);
+    EXPECT_DOUBLE_EQ(r.error_rate, 0.25);
+  }
+  {
+    report::SloConfig cfg;
+    cfg.p99_ms = 4000.0;  // burn: 5000 > 4000
+    const report::SloResult r = report::check_slo(s, cfg);
+    EXPECT_FALSE(r.latency_ok);
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    report::SloConfig cfg;
+    cfg.error_rate = 0.1;  // burn: 0.25 > 0.1
+    const report::SloResult r = report::check_slo(s, cfg);
+    EXPECT_TRUE(r.latency_ok);
+    EXPECT_FALSE(r.errors_ok);
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+TEST(AccessStats, RendererMentionsHeadlineNumbersAndVerdicts) {
+  const report::AccessStats s = report::aggregate_access(golden_events());
+  report::SloConfig cfg;
+  cfg.p99_ms = 4000.0;
+  cfg.error_rate = 0.5;
+  const report::SloResult slo = report::check_slo(s, cfg);
+  std::ostringstream os;
+  report::write_access_stats_text(s, &slo, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("8 request(s)"), std::string::npos) << text;
+  EXPECT_NE(text.find("analyze"), std::string::npos);
+  EXPECT_NE(text.find("1 rejected"), std::string::npos) << text;
+  EXPECT_NE(text.find("20.0% coalesce rate"), std::string::npos) << text;
+  EXPECT_NE(text.find("25.0% of analyze wall time"), std::string::npos) << text;
+  EXPECT_NE(text.find("BURN"), std::string::npos) << text;  // latency gate
+  EXPECT_NE(text.find("OK"), std::string::npos) << text;    // error gate
+}
+
+// ---------------------------------------------------------------------------
+// 4. Daemon end-to-end.
+
+TEST(ServeObsDaemon, JournalRecordsOneEventPerRequestWithTimings) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = socket_path("journal");
+  cfg.access_journal_path = temp_path("daemon");
+  std::remove(cfg.access_journal_path.c_str());
+  {
+    ServerRunner runner(cfg);
+    Client client(cfg.socket_path);
+    ASSERT_TRUE(client.connected());
+
+    EXPECT_EQ(client.rpc("{\"op\":\"ping\",\"id\":\"t1\"}"),
+              "{\"ok\":true,\"op\":\"ping\",\"id\":\"t1\"}");
+    EXPECT_NE(client.rpc("{\"op\":\"list\"}").find("\"ok\":true"), std::string::npos);
+    EXPECT_NE(client.rpc("not json").find("\"category\":\"input\""), std::string::npos);
+    const std::string envelope =
+        client.rpc("{\"op\":\"analyze\",\"benchmark\":\"patricia\",\"runs\":2}");
+    ASSERT_NE(envelope.find("\"ok\":true"), std::string::npos) << envelope.substr(0, 200);
+    // The daemon derived an id and echoed it like a client-supplied one.
+    const std::size_t id_at = envelope.find("\"id\":\"req-");
+    ASSERT_NE(id_at, std::string::npos) << envelope.substr(0, 200);
+    const std::size_t id_start = id_at + std::strlen("\"id\":\"");
+    const std::string derived_id =
+        envelope.substr(id_start, envelope.find('"', id_start) - id_start);
+
+    // One session is serial, so journal order matches request order.
+    const auto events = wait_for_events(cfg.access_journal_path, 4);
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].op, "ping");
+    EXPECT_EQ(events[0].request_id, "t1");
+    EXPECT_TRUE(events[0].ok);
+    EXPECT_EQ(events[1].op, "list");
+    EXPECT_EQ(events[2].op, "invalid");
+    EXPECT_FALSE(events[2].ok);
+    EXPECT_EQ(events[2].error_category, "input");
+
+    const obs::AccessEvent& analyze = events[3];
+    EXPECT_EQ(analyze.op, "analyze");
+    EXPECT_EQ(analyze.request_id, derived_id);
+    EXPECT_EQ(analyze.run_id.size(), 16u);
+    EXPECT_EQ(analyze.signature.size(), 16u);
+    EXPECT_TRUE(analyze.ok);
+    EXPECT_GT(analyze.total_seconds, 0.0);
+    EXPECT_GT(analyze.executor_seconds, 0.0);
+    EXPECT_GE(analyze.queue_wait_seconds, 0.0);
+    EXPECT_GE(analyze.total_seconds, analyze.executor_seconds);
+    // Envelope size plus the frame's trailing newline.
+    EXPECT_EQ(analyze.response_bytes, envelope.size() + 1);
+    for (const auto& e : events) {
+      EXPECT_GT(e.response_bytes, 0u);
+      EXPECT_GT(e.unix_ms, 0u);
+      EXPECT_GE(e.total_seconds, 0.0);
+    }
+  }
+  std::remove(cfg.access_journal_path.c_str());
+}
+
+TEST(ServeObsDaemon, CoalescedAndRejectedRequestsGetTheirOwnEvents) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = socket_path("coalesce");
+  cfg.access_journal_path = temp_path("coalesce");
+  cfg.max_queue = 1;
+  std::remove(cfg.access_journal_path.c_str());
+  {
+    ServerRunner runner(cfg);
+    runner.server.set_paused(true);
+    const std::uint64_t coalesced0 = counter("serve.coalesced");
+
+    constexpr int kClients = 3;
+    const std::string request =
+        "{\"op\":\"analyze\",\"benchmark\":\"patricia\",\"runs\":2}";
+    std::vector<std::thread> threads;
+    threads.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      threads.emplace_back([&] {
+        Client client(cfg.socket_path);
+        ASSERT_TRUE(client.connected());
+        const std::string response = client.rpc(request);
+        EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+      });
+    }
+    // All followers attached while the executor is paused, then one
+    // different request bounces off the full queue.
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (counter("serve.coalesced") - coalesced0 < kClients - 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    Client overflow(cfg.socket_path);
+    ASSERT_TRUE(overflow.connected());
+    const std::string bounced = overflow.rpc(
+        "{\"op\":\"analyze\",\"benchmark\":\"patricia\",\"runs\":2,\"period\":1299}");
+    EXPECT_NE(bounced.find("\"category\":\"resource\""), std::string::npos);
+
+    runner.server.set_paused(false);
+    for (auto& t : threads) t.join();
+
+    const auto events =
+        wait_for_events(cfg.access_journal_path, static_cast<std::size_t>(kClients) + 1);
+    ASSERT_EQ(events.size(), static_cast<std::size_t>(kClients + 1));
+    std::vector<const obs::AccessEvent*> served;
+    const obs::AccessEvent* rejected = nullptr;
+    for (const auto& e : events) {
+      EXPECT_EQ(e.op, "analyze");
+      if (e.rejected) {
+        rejected = &e;
+      } else {
+        served.push_back(&e);
+      }
+    }
+    ASSERT_EQ(served.size(), static_cast<std::size_t>(kClients));
+    ASSERT_NE(rejected, nullptr);
+
+    // Followers get their own events sharing the leader's run id and
+    // executor timing — one characterization, N addressable requests.
+    int coalesced_events = 0;
+    for (const obs::AccessEvent* e : served) {
+      EXPECT_TRUE(e->ok);
+      EXPECT_EQ(e->run_id, served[0]->run_id);
+      EXPECT_EQ(e->signature, served[0]->signature);
+      EXPECT_GT(e->total_seconds, 0.0);
+      EXPECT_GT(e->executor_seconds, 0.0);
+      if (e->coalesced) ++coalesced_events;
+    }
+    EXPECT_EQ(coalesced_events, kClients - 1);
+
+    // The rejected request still got an event: identity but no run.
+    EXPECT_FALSE(rejected->ok);
+    EXPECT_EQ(rejected->error_category, "resource");
+    EXPECT_EQ(rejected->run_id, "");
+    EXPECT_EQ(rejected->signature.size(), 16u);
+    EXPECT_GE(rejected->queue_depth_peak, 1u);
+  }
+  std::remove(cfg.access_journal_path.c_str());
+}
+
+TEST(ServeObsDaemon, TelemetryKeysAppearOnlyOnRequestAndNeverPerturbTheReport) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = socket_path("telemetry");
+  ServerRunner runner(cfg);
+  Client client(cfg.socket_path);
+  ASSERT_TRUE(client.connected());
+  const std::uint64_t served0 = counter("serve.trace_served");
+
+  // Cold run with deep telemetry: trace and profile ride ahead of the
+  // report in the same envelope.
+  const std::string traced = client.rpc(
+      "{\"op\":\"analyze\",\"benchmark\":\"patricia\",\"runs\":2,"
+      "\"trace\":true,\"profile\":true}");
+  ASSERT_NE(traced.find("\"ok\":true"), std::string::npos) << traced.substr(0, 200);
+  EXPECT_EQ(counter("serve.trace_served") - served0, 1u);
+  const report::JsonValue doc = report::JsonValue::parse(traced);
+  const report::JsonValue* trace = doc.find("trace");
+  ASSERT_NE(trace, nullptr);
+  if (!trace->is_null()) {
+    // A complete Chrome trace-event document with at least one span.
+    const report::JsonValue* spans = trace->find("traceEvents");
+    ASSERT_NE(spans, nullptr);
+    EXPECT_FALSE(spans->items().empty());
+  }
+  ASSERT_NE(doc.find("profile"), nullptr);
+
+  // The same parameters without telemetry: no trace/profile keys, and
+  // the report bytes are unchanged by the instrumented run before it.
+  const std::string plain =
+      client.rpc("{\"op\":\"analyze\",\"benchmark\":\"patricia\",\"runs\":2}");
+  ASSERT_NE(plain.find("\"ok\":true"), std::string::npos) << plain.substr(0, 200);
+  EXPECT_EQ(plain.find("\"trace\":"), std::string::npos);
+  EXPECT_EQ(plain.find("\"profile\":"), std::string::npos);
+  EXPECT_EQ(counter("serve.trace_served") - served0, 1u);
+  EXPECT_EQ(zero_seconds(report_from_envelope(traced)),
+            zero_seconds(report_from_envelope(plain)));
+}
+
+TEST(ServeObsDaemon, GaugesReturnToZeroAfterFaultHeavySessions) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = socket_path("gauges");
+  cfg.max_frame_bytes = 1024;
+  ServerRunner runner(cfg);
+
+  {
+    // Parse failures, a mid-request disconnect, an oversized frame, and
+    // one real analyze — every early-exit path the session can take.
+    Client bad(cfg.socket_path);
+    ASSERT_TRUE(bad.connected());
+    EXPECT_NE(bad.rpc("{\"op\":\"ping\",\"bogus\":1}").find("\"ok\":false"), std::string::npos);
+    bad.close();
+  }
+  {
+    Client partial(cfg.socket_path);
+    ASSERT_TRUE(partial.connected());
+    EXPECT_TRUE(partial.send_raw("{\"op\":\"analy"));
+    partial.close();
+  }
+  {
+    Client big(cfg.socket_path);
+    ASSERT_TRUE(big.connected());
+    EXPECT_TRUE(big.send_raw(std::string(2048, 'x')));
+    EXPECT_NE(big.read_line().find("exceeds"), std::string::npos);
+    big.close();
+  }
+  {
+    Client worker(cfg.socket_path);
+    ASSERT_TRUE(worker.connected());
+    const std::string response =
+        worker.rpc("{\"op\":\"analyze\",\"benchmark\":\"patricia\",\"runs\":2}");
+    EXPECT_NE(response.find("\"ok\":true"), std::string::npos);
+    worker.close();
+  }
+
+  // Both gauges must drain to exactly zero once the sessions wind down.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while ((gauge("serve.sessions_active") != 0.0 || gauge("serve.queue_depth") != 0.0) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(gauge("serve.sessions_active"), 0.0);
+  EXPECT_EQ(gauge("serve.queue_depth"), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// 5. Monitor rendering (no socket).
+
+TEST(Monitor, ParsesMetricsSampleAndRejectsWrongShape) {
+  const report::JsonValue doc = report::JsonValue::parse(
+      "{\"counters\":{\"serve.requests\":10,\"serve.errors\":1},"
+      "\"gauges\":{\"serve.sessions_active\":2},"
+      "\"histograms\":{\"serve.request_seconds\":"
+      "{\"count\":8,\"mean\":0.2,\"p50\":0.1,\"p95\":0.4,\"p99\":0.5}}}");
+  const serve::MonitorSample sample = serve::parse_metrics_sample(doc);
+  EXPECT_EQ(sample.counter("serve.requests"), 10u);
+  EXPECT_EQ(sample.counter("serve.missing"), 0u);
+  EXPECT_DOUBLE_EQ(sample.gauge("serve.sessions_active"), 2.0);
+  const auto* h = sample.hist("serve.request_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 8u);
+  EXPECT_DOUBLE_EQ(h->p99, 0.5);
+  EXPECT_EQ(sample.hist("nope"), nullptr);
+
+  try {
+    (void)serve::parse_metrics_sample(report::JsonValue::parse("{\"counters\":{}}"));
+    FAIL() << "expected robust::Error";
+  } catch (const robust::Error& e) {
+    EXPECT_EQ(e.category(), robust::Category::kInput);
+  }
+}
+
+TEST(Monitor, RendersRatesLatencyAndCacheLines) {
+  const report::JsonValue doc = report::JsonValue::parse(
+      "{\"counters\":{\"serve.requests\":120,\"serve.errors\":6,\"serve.sessions\":4,"
+      "\"serve.coalesced\":3,\"serve.mem_cache.hits\":9,\"serve.mem_cache.misses\":1},"
+      "\"gauges\":{\"serve.sessions_active\":1,\"serve.queue_depth\":2,"
+      "\"serve.queue_depth_peak\":5},"
+      "\"histograms\":{\"serve.request_seconds\":"
+      "{\"count\":100,\"mean\":0.2,\"p50\":0.1,\"p95\":0.4,\"p99\":0.5}}}");
+  const serve::MonitorSample cur = serve::parse_metrics_sample(doc);
+  serve::MonitorSample prev = cur;
+  prev.counters["serve.requests"] = 100;
+
+  std::ostringstream os;
+  serve::write_monitor_text(&prev, cur, 2.0, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("requests 120"), std::string::npos) << text;
+  EXPECT_NE(text.find("10.0/s"), std::string::npos) << text;  // (120-100)/2s
+  EXPECT_NE(text.find("errors 6 (5.0%)"), std::string::npos) << text;
+  EXPECT_NE(text.find("queue depth 2 (peak 5)"), std::string::npos) << text;
+  EXPECT_NE(text.find("p99 500.0ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("memory 90.0% (9/10)"), std::string::npos) << text;
+
+  // First frame: no prev, no rate, latency dash when the family is empty.
+  std::ostringstream first;
+  serve::write_monitor_text(nullptr, serve::MonitorSample{}, 2.0, first);
+  EXPECT_NE(first.str().find("requests 0"), std::string::npos) << first.str();
+  EXPECT_NE(first.str().find("latency: -"), std::string::npos) << first.str();
+}
+
+}  // namespace
+}  // namespace terrors

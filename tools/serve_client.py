@@ -5,10 +5,14 @@ Stdlib only, so CI (and anyone poking at a daemon) needs nothing beyond
 python3.  One connection per request except `fanout`, which opens N
 concurrent connections sending the *same* analyze request — the
 single-flight path — and verifies every response carries identical
-report bytes.
+report bytes.  Every request carries an id (client-supplied via --id or
+generated here) and the client asserts the daemon echoes it back; every
+response prints the client-observed wall latency alongside the daemon's
+own elapsed_seconds so queueing and transport cost are visible.
 
   serve_client.py --socket /tmp/t.sock ping
   serve_client.py --socket /tmp/t.sock analyze --benchmark patricia --runs 2 --out report.json
+  serve_client.py --socket /tmp/t.sock analyze --benchmark patricia --trace-out trace.json
   serve_client.py --socket /tmp/t.sock fanout --benchmark gsm.decode --clients 8 --out-prefix served
   serve_client.py --socket /tmp/t.sock metrics --prometheus
 
@@ -18,15 +22,18 @@ error envelope.
 
 import argparse
 import json
+import os
 import socket
 import sys
 import threading
+import time
 
 REPORT_MARKER = ',"report":'
 
 
 def rpc_line(path, line):
-    """Send one request line, return one response line."""
+    """Send one request line, return (response line, client latency s)."""
+    started = time.monotonic()
     with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
         sock.connect(path)
         sock.sendall(line.encode() + b"\n")
@@ -36,45 +43,64 @@ def rpc_line(path, line):
             if not chunk:
                 raise RuntimeError("server closed the connection mid-response")
             buf += chunk
-        return buf.decode().rstrip("\n")
+        return buf.decode().rstrip("\n"), time.monotonic() - started
 
 
 def report_bytes(envelope):
     """The raw report document spliced into an analyze envelope, with the
-    trailing newline `analyze --report` files carry."""
-    at = envelope.find(REPORT_MARKER)
+    trailing newline `analyze --report` files carry.  The report is the
+    LAST envelope key (rfind), so a served trace document riding ahead of
+    it in the same envelope cannot confuse the scan."""
+    at = envelope.rfind(REPORT_MARKER)
     if at < 0 or not envelope.endswith("}"):
         raise RuntimeError("no report in envelope: " + envelope[:200])
     return envelope[at + len(REPORT_MARKER):-1] + "\n"
 
 
-def check_ok(envelope):
+def check_ok(envelope, expect_id=None):
     doc = json.loads(envelope)
     if not doc.get("ok"):
         print("server error:", doc.get("error"), file=sys.stderr)
         sys.exit(2)
+    if expect_id is not None and doc.get("id") != expect_id:
+        raise RuntimeError(
+            f"request id not echoed: sent {expect_id!r}, got {doc.get('id')!r}")
     return doc
 
 
-def analyze_request(args):
-    req = {"op": "analyze", "benchmark": args.benchmark, "runs": args.runs}
+def make_id(tag):
+    """A client-unique request id: pid-scoped so concurrent CI clients
+    sharing one daemon stay distinguishable in the access journal."""
+    return f"cli-{os.getpid()}-{tag}"
+
+
+def analyze_request(args, req_id, trace=False, profile=False):
+    req = {"op": "analyze", "benchmark": args.benchmark, "runs": args.runs,
+           "id": req_id}
     if args.period is not None:
         req["period"] = args.period
     if args.scale is not None:
         req["scale"] = args.scale
+    if trace:
+        req["trace"] = True
+    if profile:
+        req["profile"] = True
     return json.dumps(req)
 
 
 def cmd_ping(args):
-    doc = check_ok(rpc_line(args.socket, json.dumps({"op": "ping"})))
-    print("pong" if doc["op"] == "ping" else doc)
+    req_id = args.id or make_id("ping")
+    envelope, latency = rpc_line(args.socket, json.dumps({"op": "ping", "id": req_id}))
+    doc = check_ok(envelope, expect_id=req_id)
+    print(f"pong id={doc['id']} latency={latency * 1000:.1f}ms")
 
 
 def cmd_metrics(args):
     req = {"op": "metrics"}
     if args.prometheus:
         req["format"] = "prometheus"
-    doc = check_ok(rpc_line(args.socket, json.dumps(req)))
+    envelope, _ = rpc_line(args.socket, json.dumps(req))
+    doc = check_ok(envelope)
     if args.prometheus:
         sys.stdout.write(doc["prometheus"])
     else:
@@ -83,24 +109,46 @@ def cmd_metrics(args):
 
 
 def cmd_analyze(args):
-    envelope = rpc_line(args.socket, analyze_request(args))
-    doc = check_ok(envelope)
+    req_id = args.id or make_id("analyze")
+    line = analyze_request(args, req_id,
+                           trace=bool(args.trace_out),
+                           profile=bool(args.profile_out))
+    envelope, latency = rpc_line(args.socket, line)
+    doc = check_ok(envelope, expect_id=req_id)
     report = report_bytes(envelope)
     if args.out:
         with open(args.out, "w") as f:
             f.write(report)
-    print(f"run_id={doc['run_id']} coalesced={doc['coalesced']} "
-          f"elapsed={doc['elapsed_seconds']:.3f}s bytes={len(report)}")
+    if args.trace_out:
+        trace = doc.get("trace")
+        if trace is None:
+            # Either the daemon capped the payload (served as null) or the
+            # key is missing outright — both are worth failing loudly in CI.
+            print("requested trace was not served (capped or absent)", file=sys.stderr)
+            sys.exit(1)
+        with open(args.trace_out, "w") as f:
+            json.dump(trace, f)
+    if args.profile_out:
+        profile = doc.get("profile")
+        if profile is None:
+            print("requested profile was not served (capped or absent)", file=sys.stderr)
+            sys.exit(1)
+        with open(args.profile_out, "w") as f:
+            f.write(profile)
+    print(f"id={doc['id']} run_id={doc['run_id']} coalesced={doc['coalesced']} "
+          f"server={doc['elapsed_seconds']:.3f}s client={latency:.3f}s "
+          f"bytes={len(report)}")
 
 
 def cmd_fanout(args):
-    line = analyze_request(args)
     results = [None] * args.clients
+    latencies = [0.0] * args.clients
     errors = []
 
     def worker(i):
         try:
-            results[i] = rpc_line(args.socket, line)
+            line = analyze_request(args, make_id(f"fan{i}"))
+            results[i], latencies[i] = rpc_line(args.socket, line)
         except Exception as e:  # collected, not raised: threads must all finish
             errors.append(f"client {i}: {e}")
 
@@ -116,7 +164,7 @@ def cmd_fanout(args):
     coalesced = 0
     reports = []
     for i, envelope in enumerate(results):
-        doc = check_ok(envelope)
+        doc = check_ok(envelope, expect_id=make_id(f"fan{i}"))
         if doc["coalesced"]:
             coalesced += 1
         reports.append(report_bytes(envelope))
@@ -127,7 +175,9 @@ def cmd_fanout(args):
         with open(args.out_prefix + ".json", "w") as f:
             f.write(reports[0])
     print(f"clients={args.clients} coalesced={coalesced} "
-          f"run_id={json.loads(results[0])['run_id']} bytes={len(reports[0])}")
+          f"run_id={json.loads(results[0])['run_id']} bytes={len(reports[0])} "
+          f"client_latency min={min(latencies):.3f}s max={max(latencies):.3f}s "
+          f"mean={sum(latencies) / len(latencies):.3f}s")
     if args.min_coalesced is not None and coalesced < args.min_coalesced:
         print(f"expected at least {args.min_coalesced} coalesced responses",
               file=sys.stderr)
@@ -139,7 +189,8 @@ def main():
     parser.add_argument("--socket", required=True, help="unix socket path of the daemon")
     sub = parser.add_subparsers(dest="cmd", required=True)
 
-    sub.add_parser("ping")
+    p = sub.add_parser("ping")
+    p.add_argument("--id", help="request id (default: generated)")
 
     p = sub.add_parser("metrics")
     p.add_argument("--prometheus", action="store_true")
@@ -152,7 +203,12 @@ def main():
 
     p = sub.add_parser("analyze")
     analyze_args(p)
+    p.add_argument("--id", help="request id (default: generated)")
     p.add_argument("--out", help="write the report bytes to this file")
+    p.add_argument("--trace-out",
+                   help="request a Chrome trace of the run and write it to this file")
+    p.add_argument("--profile-out",
+                   help="request folded stacks for the run and write them to this file")
 
     p = sub.add_parser("fanout")
     analyze_args(p)
