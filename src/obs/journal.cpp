@@ -127,6 +127,19 @@ std::string access_event_line(const AccessEvent& event) {
   json_number(os, event.response_bytes);
   os << ",\"queue_depth_peak\":";
   json_number(os, event.queue_depth_peak);
+  // Supervision fields (DESIGN §5j) ride at the end and only when set, so
+  // events from requests the supervisor never touched keep their exact
+  // pre-PR-10 bytes.
+  if (!event.kill_reason.empty()) {
+    os << ",\"kill_reason\":";
+    json_string(os, event.kill_reason);
+  }
+  if (event.breaker_tripped) os << ",\"breaker_tripped\":true";
+  if (event.breaker_rejected) os << ",\"breaker_rejected\":true";
+  if (event.retry_after_ms > 0) {
+    os << ",\"retry_after_ms\":";
+    json_number(os, event.retry_after_ms);
+  }
   os << "}";
   return os.str();
 }

@@ -100,6 +100,16 @@ struct AccessEvent {
 
   std::uint64_t response_bytes = 0;    ///< envelope size incl. trailing '\n'
   std::uint64_t queue_depth_peak = 0;  ///< high-water queue depth at append time
+
+  // Supervision fields (DESIGN §5j), emitted only when set so pre-PR-10
+  // event bytes are unchanged: how the sandbox worker died ("timeout",
+  // "oom", "signal:N", "exit:N", "spawn"), whether this failure tripped
+  // the signature's circuit breaker, whether admission was refused by an
+  // open breaker, and the backoff hint served with a rejection.
+  std::string kill_reason;
+  bool breaker_tripped = false;
+  bool breaker_rejected = false;
+  std::uint64_t retry_after_ms = 0;
 };
 
 /// Serialise one event as a single JSON line (no trailing newline).

@@ -76,6 +76,16 @@ class Logger {
   void log(LogLevel level, std::string_view component, std::string_view message,
            const std::vector<LogField>& fields);
 
+  /// Fork hygiene (serve/worker.hpp): a multi-threaded parent must hold
+  /// the logger mutex across fork(), or a child forked while another
+  /// thread was mid-log inherits a locked mutex nobody will ever release.
+  /// lock_for_fork() is called immediately before fork() and
+  /// unlock_after_fork() immediately after in BOTH parent and child (the
+  /// child's only thread is the forking thread's clone, so it owns the
+  /// lock) — the classic pthread_atfork prepare/parent/child pattern.
+  void lock_for_fork() { mutex_.lock(); }
+  void unlock_after_fork() { mutex_.unlock(); }
+
  private:
   void log_impl(LogLevel level, std::string_view component, std::string_view message,
                 const LogField* begin, const LogField* end);

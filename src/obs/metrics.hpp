@@ -147,6 +147,14 @@ class MetricsRegistry {
   /// delta views (obs::MetricsScope).  Names are sorted (std::map).
   [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const;
 
+  /// Fork hygiene (serve/worker.hpp): held across fork() so a child never
+  /// inherits the registration mutex locked by a non-forking thread.  See
+  /// Logger::lock_for_fork for the protocol.  Per-Histogram mutexes are
+  /// NOT covered — worker children and session threads touch disjoint
+  /// histogram families by construction.
+  void lock_for_fork() { mutex_.lock(); }
+  void unlock_after_fork() { mutex_.unlock(); }
+
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,...}}}
   /// Histogram entries include reservoir quantiles p50/p95/p99.
   void write_json(std::ostream& os) const;

@@ -222,6 +222,12 @@ obs::AccessEvent access_event_from_json(const JsonValue& doc) {
   if (const JsonValue* v = doc.find("error_category")) e.error_category = v->as_string();
   e.response_bytes = doc.get_uint("response_bytes");
   e.queue_depth_peak = doc.get_uint("queue_depth_peak");
+  // Supervision fields are emitted only when set (PR 10); their absence
+  // reads as the defaults, so old journals stay loadable.
+  if (const JsonValue* v = doc.find("kill_reason")) e.kill_reason = v->as_string();
+  if (const JsonValue* v = doc.find("breaker_tripped")) e.breaker_tripped = v->as_bool();
+  if (const JsonValue* v = doc.find("breaker_rejected")) e.breaker_rejected = v->as_bool();
+  e.retry_after_ms = doc.get_uint("retry_after_ms");
   return e;
 }
 
@@ -262,6 +268,9 @@ AccessStats aggregate_access(const std::vector<obs::AccessEvent>& events) {
     if (!e.ok) ++s.errors;
     if (e.rejected) ++s.rejected;
     if (e.coalesced) ++s.coalesced;
+    if (!e.kill_reason.empty()) ++s.worker_deaths;
+    if (e.breaker_tripped) ++s.breaker_trips;
+    if (e.breaker_rejected) ++s.breaker_rejected;
     s.queue_depth_peak = std::max(s.queue_depth_peak, e.queue_depth_peak);
     s.response_bytes += e.response_bytes;
     per_op[e.op].push_back(e.total_seconds);
@@ -345,6 +354,10 @@ void write_access_stats_text(const AccessStats& s, const SloResult* slo, std::os
      << std::setprecision(2) << 100.0 * s.error_rate << "%)" << std::defaultfloat
      << std::setprecision(6);
   os << "\nqueue depth     peak " << s.queue_depth_peak;
+  if (s.worker_deaths > 0 || s.breaker_trips > 0 || s.breaker_rejected > 0) {
+    os << "\nsupervision     " << s.worker_deaths << " worker death(s), " << s.breaker_trips
+       << " breaker trip(s), " << s.breaker_rejected << " breaker rejection(s)";
+  }
   os << "\nresponse bytes  " << s.response_bytes << " total\n";
   if (slo != nullptr) {
     os << "\nSLO\n";

@@ -102,6 +102,10 @@ struct AccessStats {
   DistSummary executor_seconds;
   std::uint64_t queue_depth_peak = 0;   ///< max over events
   std::uint64_t response_bytes = 0;     ///< total bytes written
+  // Supervision outcomes (DESIGN §5j).
+  std::uint64_t worker_deaths = 0;      ///< events carrying a kill_reason
+  std::uint64_t breaker_trips = 0;      ///< failures that opened a breaker
+  std::uint64_t breaker_rejected = 0;   ///< requests bounced by a breaker
   std::vector<OpStats> ops;             ///< name-sorted
 };
 

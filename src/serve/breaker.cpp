@@ -1,0 +1,98 @@
+#include "serve/breaker.hpp"
+
+#include <algorithm>
+
+namespace terrors::serve {
+
+namespace {
+
+std::uint64_t remaining_ms(std::chrono::steady_clock::time_point opened_at, double cooldown_s) {
+  const auto elapsed = std::chrono::steady_clock::now() - opened_at;
+  const auto cooldown = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(cooldown_s));
+  if (elapsed >= cooldown) return 0;
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(cooldown - elapsed).count();
+  // Clamp up: telling a client "retry after 0ms" while the breaker is
+  // still open invites exactly the hot-retry loop the breaker exists to
+  // stop.
+  return static_cast<std::uint64_t>(std::max<long long>(1, left));
+}
+
+}  // namespace
+
+CircuitBreaker::Decision CircuitBreaker::admit(std::uint64_t signature) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(signature);
+  if (it == entries_.end()) return Decision{};
+  Entry& entry = it->second;
+  switch (entry.state) {
+    case State::kClosed:
+      return Decision{};
+    case State::kOpen: {
+      const std::uint64_t left = remaining_ms(entry.opened_at, config_.cooldown_s);
+      if (left > 0) {
+        return Decision{false, false, left};
+      }
+      entry.state = State::kHalfOpen;
+      entry.probe_inflight = true;
+      return Decision{true, true, 0};
+    }
+    case State::kHalfOpen:
+      if (!entry.probe_inflight) {
+        entry.probe_inflight = true;
+        return Decision{true, true, 0};
+      }
+      // One probe at a time: a second identical request while the probe
+      // is in flight would just duplicate the blast radius.  Suggest a
+      // retry after roughly one more cooldown.
+      return Decision{false, false,
+                      static_cast<std::uint64_t>(std::max(1.0, config_.cooldown_s * 1000.0))};
+  }
+  return Decision{};
+}
+
+bool CircuitBreaker::record_infra_failure(std::uint64_t signature) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[signature];
+  entry.probe_inflight = false;
+  if (entry.state == State::kHalfOpen) {
+    // The probe died too: straight back to open, fresh cooldown.
+    entry.state = State::kOpen;
+    entry.opened_at = std::chrono::steady_clock::now();
+    return true;
+  }
+  entry.streak += 1;
+  if (entry.state == State::kClosed && entry.streak >= std::max(1, config_.trips)) {
+    entry.state = State::kOpen;
+    entry.opened_at = std::chrono::steady_clock::now();
+    return true;
+  }
+  return false;
+}
+
+void CircuitBreaker::record_clean(std::uint64_t signature) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(signature);
+  if (it == entries_.end()) return;
+  // Fully healed: erase instead of keeping a closed tombstone so the map
+  // only ever holds signatures with a failure history in progress.
+  entries_.erase(it);
+}
+
+CircuitBreaker::State CircuitBreaker::state(std::uint64_t signature) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(signature);
+  return it == entries_.end() ? State::kClosed : it->second.state;
+}
+
+std::size_t CircuitBreaker::quarantined() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& [sig, entry] : entries_) {
+    if (entry.state != State::kClosed) ++n;
+  }
+  return n;
+}
+
+}  // namespace terrors::serve

@@ -1,0 +1,81 @@
+// Per-signature circuit breaker for `terrors serve` (DESIGN §5j).
+//
+// A request signature whose workers keep dying takes the daemon's whole
+// executor budget with it if clients hot-retry: every retry forks a
+// worker, the worker crashes or burns the full deadline, repeat.  The
+// breaker quarantines such "poisoned" signatures: after `trips`
+// consecutive infrastructure failures (crash / timeout / OOM / spawn
+// failure — NOT typed analysis errors, which are the request failing on
+// its own terms and cost almost nothing) the signature is OPEN and
+// identical submissions are rejected immediately with a typed envelope
+// carrying `retry_after_ms`.  After `cooldown_s` one probe request is
+// admitted (HALF-OPEN); a clean result closes the breaker, another
+// infra death re-opens it for a fresh cooldown.
+//
+// States follow the classic pattern: kClosed → (trips failures) → kOpen
+// → (cooldown) → kHalfOpen → kClosed on a clean probe, back to kOpen on
+// a failed one.  All transitions are serialized behind one mutex — the
+// breaker sits on the admission path (per request line), never on an
+// analysis hot path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include <chrono>
+
+namespace terrors::serve {
+
+class CircuitBreaker {
+ public:
+  struct Config {
+    int trips = 3;             ///< consecutive infra failures that open
+    double cooldown_s = 30.0;  ///< open → half-open delay
+  };
+
+  enum class State { kClosed = 0, kHalfOpen = 1, kOpen = 2 };
+
+  struct Decision {
+    bool admit = true;
+    bool probe = false;               ///< admitted as the half-open probe
+    std::uint64_t retry_after_ms = 0; ///< rejection hint (cooldown remainder)
+  };
+
+  explicit CircuitBreaker(Config config) : config_(config) {}
+
+  /// Admission check for one submission of `signature`.  An OPEN
+  /// signature past its cooldown transitions to HALF-OPEN here and
+  /// admits exactly one probe; further submissions are rejected until
+  /// the probe reports back.
+  [[nodiscard]] Decision admit(std::uint64_t signature);
+
+  /// The worker for `signature` died of an infrastructure failure
+  /// (crash/timeout/OOM/spawn).  Returns true when this failure tripped
+  /// the breaker (closed/half-open → open).
+  bool record_infra_failure(std::uint64_t signature);
+
+  /// The request for `signature` completed cleanly — success or a typed
+  /// analysis error.  Closes a half-open breaker and resets the streak.
+  void record_clean(std::uint64_t signature);
+
+  [[nodiscard]] State state(std::uint64_t signature) const;
+  /// Number of signatures currently OPEN or HALF-OPEN (gauge source).
+  [[nodiscard]] std::size_t quarantined() const;
+
+ private:
+  struct Entry {
+    State state = State::kClosed;
+    int streak = 0;        ///< consecutive infra failures
+    bool probe_inflight = false;
+    std::chrono::steady_clock::time_point opened_at{};
+  };
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, Entry> entries_;
+};
+
+}  // namespace terrors::serve

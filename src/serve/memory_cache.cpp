@@ -64,6 +64,12 @@ void MemoryArtifactTier::store(std::string_view kind, std::uint64_t key,
   if (delegate_ != nullptr) delegate_->store(kind, key, payload);
 }
 
+void MemoryArtifactTier::admit(std::string_view kind, std::uint64_t key,
+                               const std::vector<std::uint8_t>& payload) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  insert_locked(entry_id(kind, key), payload);
+}
+
 void MemoryArtifactTier::insert_locked(const std::string& id,
                                        const std::vector<std::uint8_t>& payload) const {
   if (const auto it = index_.find(id); it != index_.end()) {

@@ -44,6 +44,19 @@ class MemoryArtifactTier final : public cache::ArtifactStore {
   void store(std::string_view kind, std::uint64_t key,
              const std::vector<std::uint8_t>& payload) const override;
 
+  /// Memory-only insert: retain the payload in the LRU without forwarding
+  /// to the delegate.  Used by the worker supervisor (serve/worker.hpp) to
+  /// apply artifact stores shipped back from a sandbox child — the child
+  /// already wrote through to the disk tier inside its own process, so a
+  /// parent-side store() would pay the file write twice.
+  void admit(std::string_view kind, std::uint64_t key,
+             const std::vector<std::uint8_t>& payload) const;
+
+  /// Fork hygiene (serve/worker.hpp): hold mutex_ across fork() so a child
+  /// never inherits the LRU lock held by a session thread mid-lookup.
+  void lock_for_fork() const { mutex_.lock(); }
+  void unlock_after_fork() const { mutex_.unlock(); }
+
   [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
   /// Current retained payload bytes (test/diagnostic view).
   [[nodiscard]] std::size_t size_bytes() const;

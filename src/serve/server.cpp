@@ -7,23 +7,17 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <sstream>
 #include <utility>
 
-#include "core/framework.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
-#include "obs/profiler.hpp"
 #include "obs/run_context.hpp"
-#include "obs/trace.hpp"
-#include "report/attribution.hpp"
-#include "report/run_report.hpp"
 #include "serve/session.hpp"
-#include "support/thread_pool.hpp"
-#include "workloads/generator.hpp"
-#include "workloads/specs.hpp"
+#include "serve/worker.hpp"
 
 namespace terrors::serve {
 
@@ -42,6 +36,20 @@ struct ServeMetrics {
       obs::MetricsRegistry::instance().histogram("serve.queue_wait_seconds");
   obs::Histogram& executor_seconds =
       obs::MetricsRegistry::instance().histogram("serve.executor_seconds");
+  // Worker supervision (DESIGN §5j).
+  obs::Counter& worker_spawns = obs::MetricsRegistry::instance().counter("serve.worker.spawns");
+  obs::Counter& worker_crashes = obs::MetricsRegistry::instance().counter("serve.worker.crashes");
+  obs::Counter& worker_timeouts =
+      obs::MetricsRegistry::instance().counter("serve.worker.timeouts");
+  obs::Counter& worker_oom_kills =
+      obs::MetricsRegistry::instance().counter("serve.worker.oom_kills");
+  obs::Counter& worker_restarts =
+      obs::MetricsRegistry::instance().counter("serve.worker.restarts");
+  obs::Counter& breaker_trips = obs::MetricsRegistry::instance().counter("serve.breaker.trips");
+  obs::Counter& breaker_rejected =
+      obs::MetricsRegistry::instance().counter("serve.breaker.rejected");
+  obs::Counter& breaker_probes = obs::MetricsRegistry::instance().counter("serve.breaker.probes");
+  obs::Gauge& breaker_open = obs::MetricsRegistry::instance().gauge("serve.breaker.open");
 };
 
 ServeMetrics& metrics() {
@@ -74,18 +82,20 @@ void register_metric_help() {
   reg.set_help("serve.trace_capped", "Telemetry payloads served as null over the size cap.");
   reg.set_help("journal.events", "Run-journal events appended.");
   reg.set_help("journal.access_events", "Access-journal events appended.");
+  reg.set_help("serve.worker.spawns", "Sandbox workers forked for analyze requests.");
+  reg.set_help("serve.worker.crashes", "Workers that died on a signal or unexpected exit.");
+  reg.set_help("serve.worker.timeouts", "Workers SIGKILLed past the request deadline.");
+  reg.set_help("serve.worker.oom_kills", "Workers that exhausted their memory budget.");
+  reg.set_help("serve.worker.restarts", "Infra worker deaths survived; the daemon kept serving.");
+  reg.set_help("serve.breaker.trips", "Circuit-breaker open transitions across all signatures.");
+  reg.set_help("serve.breaker.rejected", "Requests rejected by an open or probing breaker.");
+  reg.set_help("serve.breaker.probes", "Half-open probe requests admitted.");
+  reg.set_help("serve.breaker.open", "Signatures currently quarantined (open or half-open).");
+  reg.set_help("serve.idle_closed", "Sessions closed by the idle timeout.");
 }
 
 [[noreturn]] void resource_error(const std::string& what) {
   robust::raise(robust::Category::kResource, what + ": " + std::strerror(errno));
-}
-
-const workloads::WorkloadSpec& spec_for(const std::string& name) {
-  for (const auto& s : workloads::mibench_specs()) {
-    if (s.name == name) return s;
-  }
-  // parse_request validated the name; reaching here is a logic error.
-  robust::raise(robust::Category::kInternal, "benchmark vanished: " + name);
 }
 
 }  // namespace
@@ -95,7 +105,8 @@ Server::Server(const netlist::Pipeline& pipeline, ServerConfig config)
       config_(std::move(config)),
       disk_(config_.cache_dir.empty() ? nullptr
                                       : std::make_unique<cache::ArtifactCache>(config_.cache_dir)),
-      tier_(config_.memory_cache_mb * std::size_t{1024} * 1024, disk_.get()) {}
+      tier_(config_.memory_cache_mb * std::size_t{1024} * 1024, disk_.get()),
+      breaker_(CircuitBreaker::Config{config_.breaker_trips, config_.breaker_cooldown_s}) {}
 
 Server::~Server() {
   stop();
@@ -211,23 +222,52 @@ void Server::set_paused(bool paused) {
   queue_cv_.notify_all();
 }
 
-std::shared_ptr<Flight> Server::submit(const Request& req, bool& coalesced) {
+std::uint64_t Server::overflow_retry_hint_ms(std::size_t depth) const {
+  // Median executor time is the best single predictor of how long the
+  // queue takes to drain; before any analyze ran it is 0 and the clamp
+  // floor applies.
+  const double p50 = metrics().executor_seconds.quantile(0.5);
+  const double hint = static_cast<double>(depth + 1) * p50 * 1000.0;
+  return static_cast<std::uint64_t>(std::min(30000.0, std::max(100.0, hint)));
+}
+
+Admission Server::submit(const Request& req) {
   const std::uint64_t signature = request_signature(req);
+  Admission admission;
   std::lock_guard<std::mutex> lock(queue_mutex_);
-  coalesced = false;
-  if (stopping_) return nullptr;
+  if (stopping_) {
+    admission.retry_after_ms = 1000;
+    return admission;
+  }
   if (const auto it = flights_.find(signature); it != flights_.end()) {
-    coalesced = true;
+    admission.coalesced = true;
+    admission.flight = it->second;
     metrics().coalesced.increment();
-    return it->second;
+    return admission;
+  }
+  // Breaker sits after coalescing (an in-flight leader was already
+  // admitted — followers share its fate either way) and before the
+  // queue, so a quarantined signature cannot occupy a queue slot.
+  const CircuitBreaker::Decision decision = breaker_.admit(signature);
+  if (!decision.admit) {
+    admission.breaker_rejected = true;
+    admission.retry_after_ms = decision.retry_after_ms;
+    metrics().breaker_rejected.increment();
+    publish_breaker_state(signature);
+    return admission;
+  }
+  if (decision.probe) {
+    metrics().breaker_probes.increment();
+    publish_breaker_state(signature);
   }
   if (queue_.size() >= config_.max_queue) {
     metrics().rejected.increment();
-    return nullptr;
+    admission.retry_after_ms = overflow_retry_hint_ms(queue_.size());
+    return admission;
   }
-  auto flight = std::make_shared<Flight>();
-  flights_.emplace(signature, flight);
-  queue_.push_back(Job{signature, req, flight, std::chrono::steady_clock::now()});
+  admission.flight = std::make_shared<Flight>();
+  flights_.emplace(signature, admission.flight);
+  queue_.push_back(Job{signature, req, admission.flight, std::chrono::steady_clock::now()});
   const auto depth = static_cast<std::uint64_t>(queue_.size());
   metrics().queue_depth.set(static_cast<double>(depth));
   std::uint64_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
@@ -236,7 +276,14 @@ std::shared_ptr<Flight> Server::submit(const Request& req, bool& coalesced) {
   }
   metrics().queue_depth_peak.set(static_cast<double>(queue_depth_peak()));
   queue_cv_.notify_all();
-  return flight;
+  return admission;
+}
+
+void Server::publish_breaker_state(std::uint64_t signature) {
+  obs::MetricsRegistry::instance()
+      .gauge("serve.breaker.state." + obs::format_run_id(signature))
+      .set(static_cast<double>(static_cast<int>(breaker_.state(signature))));
+  metrics().breaker_open.set(static_cast<double>(breaker_.quarantined()));
 }
 
 void Server::record_access(obs::AccessEvent event) {
@@ -277,6 +324,24 @@ void Server::executor_loop() {
         std::chrono::duration<double>(dequeued - job.enqueued).count();
     metrics().queue_wait.observe(job.flight->queue_wait_seconds);
     execute(job);
+    // Breaker feedback: only infrastructure deaths (kill_reason set by
+    // the supervisor) count toward a trip — a typed analysis error is
+    // the request failing on its own terms, and a success obviously
+    // heals.  Recorded before the flight publishes `done` so a client
+    // that retries immediately after its error envelope observes the
+    // post-transition breaker.
+    if (!job.flight->kill_reason.empty()) {
+      if (breaker_.record_infra_failure(job.signature)) {
+        job.flight->breaker_tripped = true;
+        metrics().breaker_trips.increment();
+        obs::log_warn("serve", "circuit breaker opened",
+                      {{"signature", obs::format_run_id(job.signature)},
+                       {"kill_reason", job.flight->kill_reason}});
+      }
+    } else {
+      breaker_.record_clean(job.signature);
+    }
+    publish_breaker_state(job.signature);
     // Filled before the flight mutex publishes `done`, so waiters read a
     // consistent pair.
     job.flight->executor_seconds =
@@ -299,111 +364,68 @@ void Server::executor_loop() {
 
 void Server::execute(const Job& job) {
   const Request& req = job.request;
-  // Install the leader's request id for the duration of the analyze:
-  // RunContexts built inside capture it, so the run journal, analyze
-  // logs, and degradation warnings all carry `req=` (DESIGN §5i).
-  obs::RequestScope request_scope(req.id);
-  // On-demand deep telemetry.  The executor is the only thread that
-  // records spans, so enabling the process-wide tracer/profiler here
-  // scopes the capture to exactly this flight.  Always disabled again
-  // (including on failure) so an untraced request never pays for — or
-  // observes — a previous traced one.
-  obs::Tracer& tracer = obs::Tracer::instance();
-  obs::SpanProfiler& profiler = obs::SpanProfiler::instance();
-  if (req.trace) {
-    tracer.reset();
-    tracer.set_enabled(true);
+  if (!config_.isolation) {
+    // Debug path (`--no-isolation`): the analyze runs in the daemon's
+    // own address space, exactly the pre-PR-10 behaviour.  A crash here
+    // kills the process — that is the trade the flag buys.
+    AnalyzeOutput out = run_analyze_request(pipeline_, req, &tier_);
+    job.flight->failed = out.failed;
+    job.flight->error_category = out.error_category;
+    job.flight->error_message = std::move(out.error_message);
+    job.flight->report_json = std::move(out.report_json);
+    job.flight->run_id = std::move(out.run_id);
+    job.flight->trace_json = std::move(out.trace_json);
+    job.flight->profile_folded = std::move(out.profile_folded);
+    job.flight->trace_capped = out.trace_capped;
+    job.flight->profile_capped = out.profile_capped;
+    return;
   }
-  if (req.profile) {
-    profiler.reset();
-    profiler.start();
+  metrics().worker_spawns.increment();
+  WorkerConfig wcfg;
+  wcfg.timeout_s = config_.request_timeout_s;
+  wcfg.memory_mb = config_.worker_memory_mb;
+  WorkerOutcome outcome = run_in_worker(pipeline_, req, tier_, wcfg);
+  switch (outcome.exit) {
+    case WorkerExit::kDone: {
+      AnalyzeOutput& out = outcome.output;
+      job.flight->failed = out.failed;
+      job.flight->error_category = out.error_category;
+      job.flight->error_message = std::move(out.error_message);
+      job.flight->report_json = std::move(out.report_json);
+      job.flight->run_id = std::move(out.run_id);
+      job.flight->trace_json = std::move(out.trace_json);
+      job.flight->profile_folded = std::move(out.profile_folded);
+      job.flight->trace_capped = out.trace_capped;
+      job.flight->profile_capped = out.profile_capped;
+      return;
+    }
+    case WorkerExit::kTimeout:
+      metrics().worker_timeouts.increment();
+      job.flight->error_category = robust::Category::kResource;
+      break;
+    case WorkerExit::kOom:
+      metrics().worker_oom_kills.increment();
+      job.flight->error_category = robust::Category::kResource;
+      break;
+    case WorkerExit::kCrash:
+      metrics().worker_crashes.increment();
+      job.flight->error_category = robust::Category::kInternal;
+      break;
+    case WorkerExit::kSpawnFailure:
+      job.flight->error_category = robust::Category::kResource;
+      break;
   }
-  struct TelemetryGuard {
-    const Request& req;
-    obs::Tracer& tracer;
-    obs::SpanProfiler& profiler;
-    ~TelemetryGuard() {
-      if (req.trace) {
-        tracer.set_enabled(false);
-        tracer.reset();
-      }
-      if (req.profile) profiler.stop();
-    }
-  } telemetry_guard{req, tracer, profiler};
-  try {
-    // Mirror the CLI's analyze flow exactly (tools/terrors_cli.cpp): a
-    // fresh framework per request, so the analyze ordinal is 0 and the
-    // run id — and every report byte — matches a cold CLI run of the
-    // same parameters.  The shared memory tier is the only carry-over,
-    // and it is invisible to report bytes by construction.
-    const workloads::WorkloadSpec& spec = spec_for(req.benchmark);
-    core::FrameworkConfig cfg;
-    cfg.spec = timing::TimingSpec{req.period};
-    cfg.execution_scale = 1.0 / req.scale;
-    cfg.artifact_store = &tier_;
-    core::ErrorRateFramework framework(pipeline_, cfg);
-    const auto runs = static_cast<std::size_t>(req.runs);
-    isa::ExecutorConfig ecfg = workloads::executor_config_for(spec, runs, req.scale);
-    if (req.report_mc > 0) ecfg.record_block_trace = true;
-    framework.set_executor_config(ecfg);
-    report::CollectorConfig ccfg;
-    ccfg.mc_trials = static_cast<std::size_t>(req.report_mc);
-    ccfg.threads = support::global_pool().size();
-    report::AttributionCollector collector(ccfg);
-    const isa::Program program = workloads::generate_program(spec);
-    const core::BenchmarkResult result =
-        framework.analyze(program, workloads::generate_inputs(spec, runs, 2026), &collector);
-    const report::RunReport report = collector.build(framework, program, result);
-    std::ostringstream os;
-    report.write_json(os);
-    job.flight->report_json = os.str();
-    // write_json terminates the document with '\n'; inside a
-    // line-delimited envelope that byte would split the frame.  Clients
-    // that persist the report re-append it to recover the exact file
-    // `analyze --report` writes.
-    if (!job.flight->report_json.empty() && job.flight->report_json.back() == '\n') {
-      job.flight->report_json.pop_back();
-    }
-    job.flight->run_id = result.run_id;
-    if (req.trace) {
-      tracer.set_enabled(false);
-      std::ostringstream trace_os;
-      tracer.write_chrome_trace(trace_os);
-      std::string trace = trace_os.str();
-      // write_chrome_trace terminates with '\n'; strip it so the document
-      // splices into a single-line envelope.
-      while (!trace.empty() && trace.back() == '\n') trace.pop_back();
-      if (trace.size() > kMaxTelemetryBytes) {
-        job.flight->trace_capped = true;
-      } else {
-        job.flight->trace_json = std::move(trace);
-      }
-    }
-    if (req.profile) {
-      profiler.stop();
-      std::ostringstream folded_os;
-      profiler.write_folded(folded_os);
-      std::string folded = folded_os.str();
-      if (folded.size() > kMaxTelemetryBytes) {
-        job.flight->profile_capped = true;
-      } else {
-        job.flight->profile_folded = std::move(folded);
-      }
-    }
-  } catch (const std::exception& e) {
-    job.flight->failed = true;
-    if (const auto* err = dynamic_cast<const robust::Error*>(&e)) {
-      job.flight->error_category = err->category();
-      job.flight->error_message = err->render();
-    } else {
-      job.flight->error_category = robust::classify(e);
-      job.flight->error_message = e.what();
-    }
-    obs::log_warn("serve", "analysis failed",
-                  {{"benchmark", req.benchmark},
-                   {"req", req.id},
-                   {"error", job.flight->error_message}});
-  }
+  // Any non-kDone outcome: the worker is gone but the daemon is not —
+  // record the supervised death and move on to the next flight.
+  metrics().worker_restarts.increment();
+  job.flight->failed = true;
+  job.flight->kill_reason = outcome.kill_reason;
+  job.flight->error_message = outcome.detail;
+  obs::log_warn("serve", "worker died",
+                {{"benchmark", req.benchmark},
+                 {"req", req.id},
+                 {"kill_reason", outcome.kill_reason},
+                 {"detail", outcome.detail}});
 }
 
 void Server::accept_loop() {

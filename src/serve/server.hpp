@@ -46,6 +46,7 @@
 #include "netlist/pipeline.hpp"
 #include "obs/journal.hpp"
 #include "robust/error.hpp"
+#include "serve/breaker.hpp"
 #include "serve/memory_cache.hpp"
 #include "serve/protocol.hpp"
 
@@ -69,6 +70,23 @@ struct ServerConfig {
   /// (DESIGN §5i).  "" disables.  Peripheral like the run journal — an
   /// append failure degrades, it never fails a request.
   std::string access_journal_path;
+  /// Run each analyze in a forked sandbox worker (DESIGN §5j).  false
+  /// (`--no-isolation`) keeps the legacy in-process path for debugging.
+  bool isolation = true;
+  /// Per-request wall-clock deadline enforced by the supervisor; a
+  /// worker past it is SIGKILLed and the request fails kResource.
+  /// 0 disables.
+  double request_timeout_s = 0.0;
+  /// RLIMIT_AS budget for each sandbox worker, MiB; 0 = unlimited.
+  std::size_t worker_memory_mb = 0;
+  /// Consecutive infra failures (crash/timeout/OOM/spawn) of one request
+  /// signature before its breaker opens.
+  int breaker_trips = 3;
+  /// Open → half-open cooldown for a tripped signature, seconds.
+  double breaker_cooldown_s = 30.0;
+  /// Close a session that sends no bytes for this long, seconds;
+  /// 0 disables (sessions may park forever, pre-PR-10 behaviour).
+  double idle_timeout_s = 0.0;
 };
 
 /// One coalesced unit of analysis work.  The leader's executor run fills
@@ -98,6 +116,25 @@ struct Flight {
   std::string profile_folded;  ///< folded-stack text
   bool trace_capped = false;
   bool profile_capped = false;
+
+  // Supervision outcome (DESIGN §5j): how the worker died when `failed`
+  // is an infrastructure failure ("timeout", "oom", "signal:N", ...; ""
+  // for clean runs and typed analysis errors), and whether this failure
+  // was the one that tripped the signature's circuit breaker.
+  std::string kill_reason;
+  bool breaker_tripped = false;
+};
+
+/// Outcome of submitting an analyze request (Server::submit).  `flight`
+/// is null when the request was rejected — `breaker_rejected`
+/// distinguishes a quarantined signature from queue overflow, and
+/// `retry_after_ms` is the client backoff hint carried in either
+/// rejection envelope.
+struct Admission {
+  std::shared_ptr<Flight> flight;
+  bool coalesced = false;
+  bool breaker_rejected = false;
+  std::uint64_t retry_after_ms = 0;
 };
 
 class Server {
@@ -129,10 +166,12 @@ class Server {
   /// and assert serve.coalesced before any work happens.
   void set_paused(bool paused);
 
-  /// Submit an analyze request.  Returns the (possibly shared) flight,
-  /// or nullptr when the admission queue is full.  `coalesced` reports
-  /// whether the caller attached to an existing flight.
-  std::shared_ptr<Flight> submit(const Request& req, bool& coalesced);
+  /// Submit an analyze request.  The admission order is: coalesce onto
+  /// an in-flight identical leader, else consult the signature's circuit
+  /// breaker, else admit into the bounded queue.  A null flight in the
+  /// returned Admission means rejected (breaker or overflow), with a
+  /// retry_after_ms backoff hint either way.
+  Admission submit(const Request& req);
 
   /// Append one access-journal event (no-op without --access-journal).
   /// Fills unix_ms and queue_depth_peak; never throws — a journal failure
@@ -146,6 +185,9 @@ class Server {
 
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] const MemoryArtifactTier& memory_tier() const { return tier_; }
+  /// Breaker state view (tests/monitor): per-signature transitions are
+  /// internal, but the state of a known signature is observable.
+  [[nodiscard]] const CircuitBreaker& breaker() const { return breaker_; }
   /// Actually bound TCP port (differs from config when ephemeral), -1 if
   /// TCP is disabled.
   [[nodiscard]] int tcp_port() const { return bound_tcp_port_; }
@@ -166,8 +208,18 @@ class Server {
 
   void executor_loop();
   /// Run one analyze end to end (fresh framework over the shared memory
-  /// tier, mirroring the CLI's analyze flow); fills the flight.
+  /// tier, mirroring the CLI's analyze flow); fills the flight.  With
+  /// isolation on this supervises a forked sandbox worker (serve/worker
+  /// .hpp) and maps its death onto typed errors; afterwards the outcome
+  /// is fed to the signature's circuit breaker.
   void execute(const Job& job);
+  /// Client backoff hint for a queue-overflow rejection: scales with the
+  /// work already queued (depth × median executor seconds), clamped to
+  /// [100ms, 30s].
+  [[nodiscard]] std::uint64_t overflow_retry_hint_ms(std::size_t depth) const;
+  /// Publish the per-signature breaker-state gauge and the aggregate
+  /// serve.breaker.open gauge after a transition.
+  void publish_breaker_state(std::uint64_t signature);
   void accept_loop();
   void reap_sessions(bool join_all);
   void fail_pending_locked();
@@ -176,6 +228,7 @@ class Server {
   ServerConfig config_;
   std::unique_ptr<cache::ArtifactCache> disk_;  ///< optional delegate tier
   MemoryArtifactTier tier_;
+  CircuitBreaker breaker_;
 
   int listen_uds_ = -1;
   int listen_tcp_ = -1;

@@ -1,9 +1,12 @@
 #include "serve/session.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <sstream>
 
@@ -36,6 +39,11 @@ obs::Counter& trace_served_counter() {
 
 obs::Counter& trace_capped_counter() {
   static obs::Counter& c = obs::MetricsRegistry::instance().counter("serve.trace_capped");
+  return c;
+}
+
+obs::Counter& idle_closed_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::instance().counter("serve.idle_closed");
   return c;
 }
 
@@ -80,11 +88,37 @@ Session::Session(Server& server, int fd, std::size_t max_frame_bytes)
     : server_(server), fd_(fd), max_frame_bytes_(max_frame_bytes) {}
 
 void Session::run() {
+  // Slowloris containment: a client that connects and never sends a byte
+  // must not pin a session thread (and the sessions_active gauge)
+  // forever.  poll() bounds each wait; --idle-timeout-s 0 keeps the old
+  // park-forever behaviour.
+  const double idle_timeout_s = server_.config().idle_timeout_s;
+  const bool idle_armed = idle_timeout_s > 0.0;
+  auto last_byte = std::chrono::steady_clock::now();
   std::string buffer;
   char chunk[4096];
   while (!dead_) {
+    if (idle_armed) {
+      const auto idle_for = std::chrono::duration<double>(
+          std::chrono::steady_clock::now() - last_byte);
+      if (idle_for.count() >= idle_timeout_s) {
+        idle_closed_counter().increment();
+        obs::log_debug("serve", "closing idle session", {{"idle_seconds", idle_for.count()}});
+        break;
+      }
+      const auto remaining_ms = static_cast<int>((idle_timeout_s - idle_for.count()) * 1000.0);
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, std::max(1, remaining_ms));
+      if (ready < 0 && errno == EINTR) continue;
+      if (ready < 0) break;
+      if (ready == 0) continue;  // idle check re-runs at loop top
+    }
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    // EINTR is a signal delivery, not a disconnect: retry instead of
+    // dropping a client mid-request.
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // disconnect (possibly mid-request) or shutdown
+    last_byte = std::chrono::steady_clock::now();
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t start = 0;
     for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
@@ -199,17 +233,27 @@ void Session::handle_line(std::string_view line) {
 void Session::handle_analyze(const Request& req) {
   const auto started = std::chrono::steady_clock::now();
   access_.signature = obs::format_run_id(request_signature(req));
-  bool coalesced = false;
-  const std::shared_ptr<Flight> flight = server_.submit(req, coalesced);
+  const Admission admission = server_.submit(req);
+  const std::shared_ptr<Flight>& flight = admission.flight;
   if (flight == nullptr) {
     access_.rejected = true;
-    const robust::Error err(robust::Category::kResource,
-                            "analysis queue is full (" +
-                                std::to_string(server_.config().max_queue) +
-                                " pending); retry later");
-    reply_error("analyze", req.id, err);
+    access_.retry_after_ms = admission.retry_after_ms;
+    if (admission.breaker_rejected) {
+      access_.breaker_rejected = true;
+      const robust::Error err(robust::Category::kResource,
+                              "request signature is quarantined after repeated worker "
+                              "failures; retry after the cooldown");
+      reply_error("analyze", req.id, err, admission.retry_after_ms);
+    } else {
+      const robust::Error err(robust::Category::kResource,
+                              "analysis queue is full (" +
+                                  std::to_string(server_.config().max_queue) +
+                                  " pending); retry later");
+      reply_error("analyze", req.id, err, admission.retry_after_ms);
+    }
     return;
   }
+  const bool coalesced = admission.coalesced;
   access_.coalesced = coalesced;
   {
     std::unique_lock<std::mutex> lock(flight->mutex);
@@ -221,6 +265,8 @@ void Session::handle_analyze(const Request& req) {
   access_.run_id = flight->run_id;
   access_.queue_wait_seconds = flight->queue_wait_seconds;
   access_.executor_seconds = flight->executor_seconds;
+  access_.kill_reason = flight->kill_reason;
+  access_.breaker_tripped = flight->breaker_tripped;
   if (flight->failed) {
     const robust::Error err(flight->error_category, flight->error_message);
     reply_error("analyze", req.id, err);
@@ -264,7 +310,8 @@ void Session::handle_analyze(const Request& req) {
   reply(os.str());
 }
 
-void Session::reply_error(std::string_view op, std::string_view id, const std::exception& e) {
+void Session::reply_error(std::string_view op, std::string_view id, const std::exception& e,
+                          std::uint64_t retry_after_ms) {
   errors_counter().increment();
   robust::Category category = robust::Category::kInternal;
   std::string message;
@@ -283,6 +330,9 @@ void Session::reply_error(std::string_view op, std::string_view id, const std::e
   obs::json_string(os, robust::category_name(category));
   os << ",\"message\":";
   obs::json_string(os, message);
+  if (retry_after_ms > 0) {
+    os << ",\"retry_after_ms\":" << retry_after_ms;
+  }
   os << "}}";
   reply(os.str());
 }
@@ -296,6 +346,7 @@ void Session::reply(std::string_view payload) {
     // MSG_NOSIGNAL: a client that disconnected mid-response must not
     // SIGPIPE the daemon.
     const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // signal delivery, not a dead peer
     if (n <= 0) {
       dead_ = true;
       return;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -32,8 +33,11 @@ class Session {
   void handle_analyze(const Request& req);
   /// Error envelope from a caught exception: robust::Error categories map
   /// to {"category": "...", "message": ...}; anything else classifies as
-  /// per robust::classify.  `op`/`id` are included when known.
-  void reply_error(std::string_view op, std::string_view id, const std::exception& e);
+  /// per robust::classify.  `op`/`id` are included when known.  A nonzero
+  /// `retry_after_ms` adds the client backoff hint inside "error"
+  /// (admission rejections and breaker quarantines).
+  void reply_error(std::string_view op, std::string_view id, const std::exception& e,
+                   std::uint64_t retry_after_ms = 0);
   /// Write one frame + newline; on failure (peer gone) marks dead.
   void reply(std::string_view payload);
 

@@ -1,0 +1,615 @@
+#include "serve/worker.hpp"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <sstream>
+#include <vector>
+
+#include "core/framework.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/run_context.hpp"
+#include "obs/trace.hpp"
+#include "report/attribution.hpp"
+#include "report/run_report.hpp"
+#include "robust/fault_injection.hpp"
+#include "support/thread_pool.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/specs.hpp"
+
+namespace terrors::serve {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Result-frame protocol (child → parent, over a pipe).
+//
+// Each frame is `tag (1 byte) | length (u64, little-endian) | payload`.
+// Tags: 'R' report_json, 'I' run_id, 'T' trace_json, 'P' profile_folded,
+// 'E' typed analysis error (1-byte category + message), 'c' one counter
+// delta (u64 delta + name), 'a' one artifact store (u64 key + 1-byte
+// kind length + kind + payload), 'F' flags (bit0 trace_capped, bit1
+// profile_capped), 'D' done marker (empty).  The done marker is what
+// distinguishes "child finished" from "child died mid-write".
+
+/// Sanity bound per frame; a longer length prefix means the stream is
+/// corrupt (or the child is hostile) and the supervisor kills the child.
+constexpr std::uint64_t kMaxResultFrameBytes = std::uint64_t{1} << 30;
+
+bool write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;  // parent is gone; nothing left to report to
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool write_frame(int fd, char tag, const void* data, std::size_t n) {
+  unsigned char header[9];
+  header[0] = static_cast<unsigned char>(tag);
+  for (int i = 0; i < 8; ++i) {
+    header[1 + i] = static_cast<unsigned char>((static_cast<std::uint64_t>(n) >> (8 * i)) & 0xff);
+  }
+  return write_all(fd, header, sizeof(header)) && (n == 0 || write_all(fd, data, n));
+}
+
+bool write_frame(int fd, char tag, const std::string& payload) {
+  return write_frame(fd, tag, payload.data(), payload.size());
+}
+
+std::uint64_t decode_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void encode_u64(std::uint64_t v, unsigned char* p) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+}
+
+// ---------------------------------------------------------------------------
+
+const workloads::WorkloadSpec& spec_for(const std::string& name) {
+  for (const auto& s : workloads::mibench_specs()) {
+    if (s.name == name) return s;
+  }
+  // parse_request validated the name; reaching here is a logic error.
+  robust::raise(robust::Category::kInternal, "benchmark vanished: " + name);
+}
+
+/// Pass-through ArtifactStore that remembers every store() so a sandbox
+/// child can ship them back to the parent's memory tier.  The recording
+/// mutex exists because pool workers store concurrently.
+class RecordingStore final : public cache::ArtifactStore {
+ public:
+  struct Record {
+    std::string kind;
+    std::uint64_t key = 0;
+    std::vector<std::uint8_t> payload;
+  };
+
+  explicit RecordingStore(const cache::ArtifactStore* delegate) : delegate_(delegate) {}
+
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> load(std::string_view kind,
+                                                              std::uint64_t key) const override {
+    return delegate_ != nullptr ? delegate_->load(kind, key) : std::nullopt;
+  }
+
+  void store(std::string_view kind, std::uint64_t key,
+             const std::vector<std::uint8_t>& payload) const override {
+    if (delegate_ != nullptr) delegate_->store(kind, key, payload);
+    std::lock_guard<std::mutex> lock(mutex_);
+    records_.push_back(Record{std::string(kind), key, payload});
+  }
+
+  [[nodiscard]] const std::vector<Record>& records() const { return records_; }
+
+ private:
+  const cache::ArtifactStore* delegate_;
+  mutable std::mutex mutex_;
+  mutable std::vector<Record> records_;
+};
+
+/// RAII over the prepare/parent/child fork protocol: every mutex a child
+/// could inherit locked is taken before fork() and released on both
+/// sides.  Lock order here is the only lock order (there is exactly one
+/// fork site), so it cannot deadlock against itself.
+class ForkLocks {
+ public:
+  explicit ForkLocks(const MemoryArtifactTier& tier) : tier_(tier) {
+    obs::Logger::instance().lock_for_fork();
+    obs::MetricsRegistry::instance().lock_for_fork();
+    support::lock_global_pool_for_fork();
+    tier_.lock_for_fork();
+  }
+
+  void release(bool in_child) {
+    if (released_) return;
+    released_ = true;
+    tier_.unlock_after_fork();
+    support::unlock_global_pool_after_fork(in_child);
+    obs::MetricsRegistry::instance().unlock_after_fork();
+    obs::Logger::instance().unlock_after_fork();
+  }
+
+  ~ForkLocks() { release(/*in_child=*/false); }
+
+ private:
+  const MemoryArtifactTier& tier_;
+  bool released_ = false;
+};
+
+/// Child-side body: run the analyze, ship result frames, _exit.  Never
+/// returns to the caller's stack — a forked child must not unwind into
+/// the daemon's main loop or run its static destructors.
+[[noreturn]] void child_main(int wfd, const netlist::Pipeline& pipeline, const Request& req,
+                             const MemoryArtifactTier& tier, const WorkerConfig& cfg,
+                             bool inject_crash, bool inject_hang, bool inject_oom) {
+  // The parent may die first; a write to the closed pipe must surface as
+  // an error return, not a SIGPIPE death miscounted as a crash.
+  ::signal(SIGPIPE, SIG_IGN);
+  // Allocation failure under the budget exits with the dedicated OOM
+  // code immediately: unwinding through an exhausted heap usually cannot
+  // even build the error string, and would be reported as a crash.
+  std::set_new_handler(+[] { ::_exit(kWorkerOomExitCode); });
+  if (cfg.memory_mb > 0) {
+    rlimit lim{};
+    lim.rlim_cur = lim.rlim_max = static_cast<rlim_t>(cfg.memory_mb) * 1024 * 1024;
+    // RLIMIT_AS alone cannot bound a forked child: glibc grows malloc
+    // arenas with mprotect inside 64 MB reservations the *parent* already
+    // mapped, so recycled arena space is invisible to it.  RLIMIT_DATA is
+    // checked on brk, private writable mmap, and that mprotect growth
+    // (Linux >= 4.7), so set both — whichever trips first turns into
+    // bad_alloc -> the OOM exit above.
+    ::setrlimit(RLIMIT_AS, &lim);
+    ::setrlimit(RLIMIT_DATA, &lim);
+  }
+  // Deterministic chaos: the verdicts were decided in the parent (serial
+  // occurrence counters do not propagate across fork), the child only
+  // acts them out.
+  if (inject_crash) std::abort();
+  if (inject_hang) {
+    for (;;) ::pause();
+  }
+  // Act out an allocation failure under the budget: the exact exit the
+  // new-handler above takes.  A real RLIMIT-driven OOM is inherently
+  // nondeterministic in a forked child (free chunks inherited from the
+  // parent's arenas stay allocatable without any syscall the limits
+  // could veto), so chaos coverage of the OOM classification path comes
+  // from this verdict instead.
+  if (inject_oom) ::_exit(kWorkerOomExitCode);
+  try {
+    // Baseline AFTER fork: deltas are exactly what this analyze adds on
+    // top of the counter values inherited from the parent.
+    obs::MetricsScope scope(obs::MetricsRegistry::instance());
+    RecordingStore store(&tier);
+    const AnalyzeOutput out = run_analyze_request(pipeline, req, &store);
+    for (const auto& [name, delta] : scope.deltas()) {
+      std::string payload(8, '\0');
+      encode_u64(delta, reinterpret_cast<unsigned char*>(payload.data()));
+      payload += name;
+      if (!write_frame(wfd, 'c', payload)) ::_exit(kWorkerInternalExitCode);
+    }
+    for (const auto& rec : store.records()) {
+      if (rec.kind.size() > 255) continue;  // kinds are short literals by construction
+      std::string payload(9, '\0');
+      encode_u64(rec.key, reinterpret_cast<unsigned char*>(payload.data()));
+      payload[8] = static_cast<char>(rec.kind.size());
+      payload += rec.kind;
+      payload.append(reinterpret_cast<const char*>(rec.payload.data()), rec.payload.size());
+      if (!write_frame(wfd, 'a', payload)) ::_exit(kWorkerInternalExitCode);
+    }
+    bool ok = true;
+    if (out.failed) {
+      std::string payload(1, static_cast<char>(out.error_category));
+      payload += out.error_message;
+      ok = write_frame(wfd, 'E', payload);
+    } else {
+      ok = write_frame(wfd, 'R', out.report_json) && write_frame(wfd, 'I', out.run_id);
+      if (ok && !out.trace_json.empty()) ok = write_frame(wfd, 'T', out.trace_json);
+      if (ok && !out.profile_folded.empty()) ok = write_frame(wfd, 'P', out.profile_folded);
+    }
+    if (ok) {
+      const char flags = static_cast<char>((out.trace_capped ? 1 : 0) | (out.profile_capped ? 2 : 0));
+      ok = write_frame(wfd, 'F', &flags, 1) && write_frame(wfd, 'D', nullptr, 0);
+    }
+    ::_exit(ok ? 0 : kWorkerInternalExitCode);
+  } catch (const std::bad_alloc&) {
+    ::_exit(kWorkerOomExitCode);
+  } catch (...) {
+    ::_exit(kWorkerInternalExitCode);
+  }
+}
+
+/// Parent-side frame consumer: applies counter deltas / artifacts as
+/// they arrive, fills `out`, and reports whether the done marker came.
+class FrameSink {
+ public:
+  FrameSink(AnalyzeOutput& out, const MemoryArtifactTier& tier) : out_(out), tier_(tier) {}
+
+  [[nodiscard]] bool done() const { return done_; }
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+
+  /// Feed raw pipe bytes; consumes every complete frame.
+  void feed(const char* data, std::size_t n) {
+    buffer_.append(data, n);
+    std::size_t pos = 0;
+    while (buffer_.size() - pos >= 9) {
+      const char tag = buffer_[pos];
+      const std::uint64_t len =
+          decode_u64(reinterpret_cast<const unsigned char*>(buffer_.data()) + pos + 1);
+      if (len > kMaxResultFrameBytes) {
+        corrupt_ = true;
+        return;
+      }
+      if (buffer_.size() - pos - 9 < len) break;
+      handle(tag, std::string_view(buffer_.data() + pos + 9, static_cast<std::size_t>(len)));
+      pos += 9 + static_cast<std::size_t>(len);
+    }
+    buffer_.erase(0, pos);
+  }
+
+ private:
+  void handle(char tag, std::string_view payload) {
+    switch (tag) {
+      case 'R':
+        out_.report_json.assign(payload);
+        break;
+      case 'I':
+        out_.run_id.assign(payload);
+        break;
+      case 'T':
+        out_.trace_json.assign(payload);
+        break;
+      case 'P':
+        out_.profile_folded.assign(payload);
+        break;
+      case 'E':
+        if (payload.empty()) {
+          corrupt_ = true;
+          return;
+        }
+        out_.failed = true;
+        out_.error_category = static_cast<robust::Category>(payload[0]);
+        out_.error_message.assign(payload.substr(1));
+        break;
+      case 'F':
+        if (payload.empty()) {
+          corrupt_ = true;
+          return;
+        }
+        out_.trace_capped = (payload[0] & 1) != 0;
+        out_.profile_capped = (payload[0] & 2) != 0;
+        break;
+      case 'c': {
+        if (payload.size() < 8) {
+          corrupt_ = true;
+          return;
+        }
+        const std::uint64_t delta =
+            decode_u64(reinterpret_cast<const unsigned char*>(payload.data()));
+        const std::string name(payload.substr(8));
+        if (delta > 0 && !name.empty()) {
+          obs::MetricsRegistry::instance().counter(name).increment(delta);
+        }
+        break;
+      }
+      case 'a': {
+        if (payload.size() < 9) {
+          corrupt_ = true;
+          return;
+        }
+        const std::uint64_t key =
+            decode_u64(reinterpret_cast<const unsigned char*>(payload.data()));
+        const auto kind_len = static_cast<std::size_t>(static_cast<unsigned char>(payload[8]));
+        if (payload.size() < 9 + kind_len) {
+          corrupt_ = true;
+          return;
+        }
+        const std::string kind(payload.substr(9, kind_len));
+        const std::string_view body = payload.substr(9 + kind_len);
+        // admit() keeps the parent's memory tier warm without a second
+        // disk write — the child already wrote through inside its own
+        // process.
+        tier_.admit(kind, key,
+                    std::vector<std::uint8_t>(body.begin(), body.end()));
+        break;
+      }
+      case 'D':
+        done_ = true;
+        break;
+      default:
+        corrupt_ = true;
+        return;
+    }
+  }
+
+  AnalyzeOutput& out_;
+  const MemoryArtifactTier& tier_;
+  std::string buffer_;
+  bool done_ = false;
+  bool corrupt_ = false;
+};
+
+WorkerOutcome spawn_failure(std::string detail) {
+  WorkerOutcome out;
+  out.exit = WorkerExit::kSpawnFailure;
+  out.kill_reason = "spawn";
+  out.detail = std::move(detail);
+  return out;
+}
+
+}  // namespace
+
+AnalyzeOutput run_analyze_request(const netlist::Pipeline& pipeline, const Request& req,
+                                  cache::ArtifactStore* store) {
+  AnalyzeOutput out;
+  // Install the leader's request id for the duration of the analyze:
+  // RunContexts built inside capture it, so the run journal, analyze
+  // logs, and degradation warnings all carry `req=` (DESIGN §5i).
+  obs::RequestScope request_scope(req.id);
+  // On-demand deep telemetry.  Exactly one analyze runs per process at a
+  // time (single executor thread in-process, single request per sandbox
+  // child), so enabling the process-wide tracer/profiler here scopes the
+  // capture to exactly this flight.  Always disabled again (including on
+  // failure) so an untraced request never pays for — or observes — a
+  // previous traced one.
+  obs::Tracer& tracer = obs::Tracer::instance();
+  obs::SpanProfiler& profiler = obs::SpanProfiler::instance();
+  if (req.trace) {
+    tracer.reset();
+    tracer.set_enabled(true);
+  }
+  if (req.profile) {
+    profiler.reset();
+    profiler.start();
+  }
+  struct TelemetryGuard {
+    const Request& req;
+    obs::Tracer& tracer;
+    obs::SpanProfiler& profiler;
+    ~TelemetryGuard() {
+      if (req.trace) {
+        tracer.set_enabled(false);
+        tracer.reset();
+      }
+      if (req.profile) profiler.stop();
+    }
+  } telemetry_guard{req, tracer, profiler};
+  try {
+    // Mirror the CLI's analyze flow exactly (tools/terrors_cli.cpp): a
+    // fresh framework per request, so the analyze ordinal is 0 and the
+    // run id — and every report byte — matches a cold CLI run of the
+    // same parameters.  The shared memory tier is the only carry-over,
+    // and it is invisible to report bytes by construction.
+    const workloads::WorkloadSpec& spec = spec_for(req.benchmark);
+    core::FrameworkConfig cfg;
+    cfg.spec = timing::TimingSpec{req.period};
+    cfg.execution_scale = 1.0 / req.scale;
+    cfg.artifact_store = store;
+    core::ErrorRateFramework framework(pipeline, cfg);
+    const auto runs = static_cast<std::size_t>(req.runs);
+    isa::ExecutorConfig ecfg = workloads::executor_config_for(spec, runs, req.scale);
+    if (req.report_mc > 0) ecfg.record_block_trace = true;
+    framework.set_executor_config(ecfg);
+    report::CollectorConfig ccfg;
+    ccfg.mc_trials = static_cast<std::size_t>(req.report_mc);
+    ccfg.threads = support::global_pool().size();
+    report::AttributionCollector collector(ccfg);
+    const isa::Program program = workloads::generate_program(spec);
+    const core::BenchmarkResult result =
+        framework.analyze(program, workloads::generate_inputs(spec, runs, 2026), &collector);
+    const report::RunReport report = collector.build(framework, program, result);
+    std::ostringstream os;
+    report.write_json(os);
+    out.report_json = os.str();
+    // write_json terminates the document with '\n'; inside a
+    // line-delimited envelope that byte would split the frame.  Clients
+    // that persist the report re-append it to recover the exact file
+    // `analyze --report` writes.
+    if (!out.report_json.empty() && out.report_json.back() == '\n') {
+      out.report_json.pop_back();
+    }
+    out.run_id = result.run_id;
+    if (req.trace) {
+      tracer.set_enabled(false);
+      std::ostringstream trace_os;
+      tracer.write_chrome_trace(trace_os);
+      std::string trace = trace_os.str();
+      // write_chrome_trace terminates with '\n'; strip it so the document
+      // splices into a single-line envelope.
+      while (!trace.empty() && trace.back() == '\n') trace.pop_back();
+      if (trace.size() > kMaxTelemetryBytes) {
+        out.trace_capped = true;
+      } else {
+        out.trace_json = std::move(trace);
+      }
+    }
+    if (req.profile) {
+      profiler.stop();
+      std::ostringstream folded_os;
+      profiler.write_folded(folded_os);
+      std::string folded = folded_os.str();
+      if (folded.size() > kMaxTelemetryBytes) {
+        out.profile_capped = true;
+      } else {
+        out.profile_folded = std::move(folded);
+      }
+    }
+  } catch (const std::exception& e) {
+    out.failed = true;
+    if (const auto* err = dynamic_cast<const robust::Error*>(&e)) {
+      out.error_category = err->category();
+      out.error_message = err->render();
+    } else {
+      out.error_category = robust::classify(e);
+      out.error_message = e.what();
+    }
+    obs::log_warn("serve", "analysis failed",
+                  {{"benchmark", req.benchmark},
+                   {"req", req.id},
+                   {"error", out.error_message}});
+  }
+  return out;
+}
+
+WorkerOutcome run_in_worker(const netlist::Pipeline& pipeline, const Request& req,
+                            const MemoryArtifactTier& tier, const WorkerConfig& cfg) {
+  // worker.spawn is a parent-side site: a fork that "fails" must be
+  // injectable without ever creating a child to clean up.
+  try {
+    robust::maybe_fault("worker.spawn");
+  } catch (const robust::Error& e) {
+    return spawn_failure(e.render());
+  }
+  // Chaos verdicts for the child are decided HERE, pre-fork: the
+  // injector's serial occurrence counters live in parent memory, so
+  // evaluating them in the child would see a frozen snapshot and fire
+  // `nth=1` in every worker instead of exactly once.
+  robust::FaultInjector& injector = robust::FaultInjector::instance();
+  const bool inject_crash = injector.armed() && injector.should_fire("worker.crash");
+  const bool inject_hang = injector.armed() && injector.should_fire("worker.hang");
+  const bool inject_oom = injector.armed() && injector.should_fire("worker.oom");
+
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) {
+    return spawn_failure(std::string("cannot create worker result pipe: ") +
+                         std::strerror(errno));
+  }
+
+  pid_t pid = -1;
+  {
+    ForkLocks locks(tier);
+    pid = ::fork();
+    if (pid == 0) {
+      locks.release(/*in_child=*/true);
+      ::close(fds[0]);
+      child_main(fds[1], pipeline, req, tier, cfg, inject_crash, inject_hang,
+                 inject_oom);  // noreturn
+    }
+    locks.release(/*in_child=*/false);
+  }
+  if (pid < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return spawn_failure("fork failed: " + err);
+  }
+  ::close(fds[1]);
+
+  WorkerOutcome outcome;
+  FrameSink sink(outcome.output, tier);
+  const bool deadline_armed = cfg.timeout_s > 0.0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(cfg.timeout_s));
+  bool timed_out = false;
+  char chunk[65536];
+  for (;;) {
+    int wait_ms = -1;
+    if (deadline_armed && !timed_out) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      wait_ms = static_cast<int>(std::max<std::int64_t>(0, remaining.count()));
+    }
+    pollfd pfd{fds[0], POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      // Deadline overrun: SIGKILL (a hung worker may ignore anything
+      // milder) and keep draining until EOF so the reap below cannot
+      // block on a full pipe.
+      timed_out = true;
+      ::kill(pid, SIGKILL);
+      continue;
+    }
+    const ssize_t n = ::read(fds[0], chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // EOF: the child exited or was killed
+    if (!timed_out && !sink.corrupt()) {
+      sink.feed(chunk, static_cast<std::size_t>(n));
+      if (sink.corrupt()) {
+        ::kill(pid, SIGKILL);
+        outcome.detail = "worker result stream corrupt";
+        // keep draining to EOF, then classify as crash below
+      }
+    }
+  }
+  ::close(fds[0]);
+
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+
+  if (timed_out) {
+    outcome.exit = WorkerExit::kTimeout;
+    outcome.kill_reason = "timeout";
+    outcome.detail = "worker exceeded the " + std::to_string(cfg.timeout_s) +
+                     "s request deadline and was killed";
+    return outcome;
+  }
+  if (WIFEXITED(status)) {
+    outcome.exit_code = WEXITSTATUS(status);
+    if (outcome.exit_code == 0 && sink.done() && !sink.corrupt()) {
+      outcome.exit = WorkerExit::kDone;
+      return outcome;
+    }
+    if (outcome.exit_code == kWorkerOomExitCode) {
+      outcome.exit = WorkerExit::kOom;
+      outcome.kill_reason = "oom";
+      outcome.detail = "worker exhausted its " + std::to_string(cfg.memory_mb) +
+                       " MiB memory budget";
+      return outcome;
+    }
+    outcome.exit = WorkerExit::kCrash;
+    outcome.kill_reason = "exit:" + std::to_string(outcome.exit_code);
+    if (outcome.detail.empty()) {
+      outcome.detail = "worker exited unexpectedly with code " +
+                       std::to_string(outcome.exit_code);
+    }
+    return outcome;
+  }
+  const int sig = WIFSIGNALED(status) ? WTERMSIG(status) : 0;
+  outcome.term_signal = sig;
+  if (sig == SIGKILL) {
+    // The parent only SIGKILLs on deadline overrun (handled above), so an
+    // unexplained SIGKILL is the kernel OOM killer enforcing the budget
+    // the hard way.
+    outcome.exit = WorkerExit::kOom;
+    outcome.kill_reason = "oom";
+    outcome.detail = "worker was OOM-killed";
+    return outcome;
+  }
+  outcome.exit = WorkerExit::kCrash;
+  outcome.kill_reason = "signal:" + std::to_string(sig);
+  if (outcome.detail.empty()) {
+    outcome.detail = "worker crashed on signal " + std::to_string(sig);
+  }
+  return outcome;
+}
+
+}  // namespace terrors::serve

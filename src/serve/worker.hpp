@@ -1,0 +1,107 @@
+// Crash-isolated analysis workers for `terrors serve` (DESIGN §5j).
+//
+// With isolation on (the default), the executor never runs an analyze in
+// its own address space: run_in_worker() forks a sandbox child, applies
+// an RLIMIT_AS memory budget, and reads the result back over a pipe as
+// length-prefixed frames (report bytes, run id, telemetry, per-run
+// counter deltas, artifact stores).  The parent is a supervisor — it
+// enforces a wall-clock deadline (SIGKILL + waitpid reap on overrun) and
+// maps every way a child can die onto a WorkerExit, so a segfault, an
+// OOM, or a runaway request costs exactly one request, never the daemon.
+//
+// Determinism (§5h): the child runs run_analyze_request(), the *same*
+// function the in-process path uses, over the same memory tier it
+// inherited at fork — served report bytes stay byte-identical to a cold
+// `analyze --report` CLI run.  Side effects the parent needs back
+// (metric counter deltas for per-request accounting, artifact stores for
+// the shared memory tier) are shipped as frames and re-applied, so a
+// healthy isolated run is observationally equivalent to an in-process
+// one.
+//
+// Fork hygiene: the parent is multi-threaded (sessions, accept loop), so
+// every mutex a child could touch is held across fork() and released on
+// both sides (Logger, MetricsRegistry, the global-pool registry, the
+// memory tier LRU).  The child abandons the inherited thread pool —
+// fork() does not clone its worker threads — and always leaves via
+// _exit(), never exit(), so static destructors cannot join threads that
+// do not exist.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cache/artifact_cache.hpp"
+#include "netlist/pipeline.hpp"
+#include "robust/error.hpp"
+#include "serve/memory_cache.hpp"
+#include "serve/protocol.hpp"
+
+namespace terrors::serve {
+
+/// Exit code a sandbox child uses when an allocation fails under the
+/// RLIMIT_AS budget (installed as the child's new-handler, so allocation
+/// failure exits immediately instead of unwinding through a heap that
+/// cannot even build an error message).
+inline constexpr int kWorkerOomExitCode = 77;
+/// Exit code for an exception that escapes the child's analyze wrapper —
+/// should be unreachable (run_analyze_request catches), kept distinct so
+/// the supervisor can tell it from a signal death.
+inline constexpr int kWorkerInternalExitCode = 70;
+
+struct WorkerConfig {
+  double timeout_s = 0.0;     ///< per-request wall-clock deadline; 0 = none
+  std::size_t memory_mb = 0;  ///< RLIMIT_AS budget for the child; 0 = none
+};
+
+/// Result of one analyze, whichever process ran it.  `failed` carries a
+/// *typed* analysis error (bad input, injected fault, ...) — the request
+/// failed on its own terms, the process that ran it is healthy.
+struct AnalyzeOutput {
+  bool failed = false;
+  robust::Category error_category = robust::Category::kInternal;
+  std::string error_message;
+  std::string report_json;  ///< exact bytes `analyze --report` would write
+  std::string run_id;
+  std::string trace_json;
+  std::string profile_folded;
+  bool trace_capped = false;
+  bool profile_capped = false;
+};
+
+/// How the sandbox child ended.  Everything except kDone means the child
+/// process itself was lost; the supervisor maps these onto robust::
+/// categories (kResource for timeout/OOM, kInternal for a crash).
+enum class WorkerExit {
+  kDone,          ///< clean exit, result frames received (output valid)
+  kCrash,         ///< died on a signal / unexpected exit code
+  kTimeout,       ///< parent SIGKILLed it past the deadline
+  kOom,           ///< RLIMIT_AS allocation failure or kernel OOM SIGKILL
+  kSpawnFailure,  ///< fork()/pipe() failed (or worker.spawn fault fired)
+};
+
+struct WorkerOutcome {
+  WorkerExit exit = WorkerExit::kDone;
+  AnalyzeOutput output;      ///< meaningful only when exit == kDone
+  int term_signal = 0;       ///< WTERMSIG when the child died on a signal
+  int exit_code = 0;         ///< WEXITSTATUS when the child exited
+  std::string kill_reason;   ///< access-journal tag: "timeout", "oom",
+                             ///< "signal:N", "exit:N", "spawn"; "" = clean
+  std::string detail;        ///< human-readable supervisor message
+};
+
+/// The shared analyze flow (mirrors the CLI's `analyze --report` exactly;
+/// see DESIGN §5h): fresh framework over `store`, request id installed
+/// for logs/journal, on-demand trace/profile capture.  Never throws —
+/// analysis failures come back typed inside the output.
+[[nodiscard]] AnalyzeOutput run_analyze_request(const netlist::Pipeline& pipeline,
+                                                const Request& req, cache::ArtifactStore* store);
+
+/// Fork a sandbox child, run run_analyze_request() inside it, supervise
+/// the deadline, and reap it.  Counter deltas and artifact stores shipped
+/// back by a healthy child are applied to the parent registry/tier before
+/// this returns.  Never throws.
+[[nodiscard]] WorkerOutcome run_in_worker(const netlist::Pipeline& pipeline, const Request& req,
+                                          const MemoryArtifactTier& tier,
+                                          const WorkerConfig& cfg);
+
+}  // namespace terrors::serve

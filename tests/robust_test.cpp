@@ -438,7 +438,7 @@ TEST_F(RobustTest, DoctorPassesInAHealthyEnvironment) {
   }
   EXPECT_TRUE(report.ok());
   EXPECT_EQ(report.exit_code(), 0);
-  ASSERT_EQ(report.findings.size(), 4u);  // cache, pool, solver, analysis
+  ASSERT_EQ(report.findings.size(), 5u);  // cache, pool, solver, worker, analysis
 }
 
 }  // namespace

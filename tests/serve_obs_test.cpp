@@ -126,7 +126,14 @@ class Client {
 /// RAII server on its own thread; the socket accepts when the
 /// constructor returns.
 struct ServerRunner {
-  explicit ServerRunner(serve::ServerConfig cfg) : server(pipeline(), std::move(cfg)) {
+  // Pinned to the legacy in-process executor: observability semantics are
+  // isolation-agnostic, and TSan cannot start threads after a
+  // multi-threaded fork.  Supervised-path coverage lives in
+  // serve_robust_test.cpp.
+  explicit ServerRunner(serve::ServerConfig cfg) : server(pipeline(), [](serve::ServerConfig c) {
+    c.isolation = false;
+    return c;
+  }(std::move(cfg))) {
     server.start();
     thread = std::thread([this] { server.run(); });
   }

@@ -128,10 +128,21 @@ class Client {
   std::string buffer_;
 };
 
+/// Pin these tests to the legacy in-process executor: they exercise
+/// protocol/coalescing/admission semantics that are isolation-agnostic,
+/// and TSan (one of CI's sanitizer lanes) cannot start threads in a
+/// process that forked while multi-threaded.  The supervised path has
+/// its own coverage in serve_robust_test.cpp.
+inline serve::ServerConfig in_process(serve::ServerConfig cfg) {
+  cfg.isolation = false;
+  return cfg;
+}
+
 /// RAII server on its own thread; the socket accepts when the
 /// constructor returns.
 struct ServerRunner {
-  explicit ServerRunner(serve::ServerConfig cfg) : server(pipeline(), std::move(cfg)) {
+  explicit ServerRunner(serve::ServerConfig cfg)
+      : server(pipeline(), in_process(std::move(cfg))) {
     server.start();
     thread = std::thread([this] { server.run(); });
   }

@@ -23,6 +23,7 @@ error envelope.
 import argparse
 import json
 import os
+import random
 import socket
 import sys
 import threading
@@ -44,6 +45,36 @@ def rpc_line(path, line):
                 raise RuntimeError("server closed the connection mid-response")
             buf += chunk
         return buf.decode().rstrip("\n"), time.monotonic() - started
+
+
+def retry_after_seconds(envelope):
+    """The daemon's backoff hint, jittered, or None when the response is
+    not a retryable rejection.  Admission rejections (full queue, open
+    circuit breaker) carry retry_after_ms in the error object; honoring
+    it with jitter keeps a fanout burst from re-arriving as one thundering
+    herd exactly when the daemon said to come back."""
+    try:
+        error = json.loads(envelope).get("error") or {}
+    except json.JSONDecodeError:
+        return None
+    hint_ms = error.get("retry_after_ms")
+    if not hint_ms:
+        return None
+    return hint_ms / 1000.0 * random.uniform(0.5, 1.5)
+
+
+def rpc_with_backoff(path, line, retries):
+    """rpc_line, retrying up to `retries` times when the daemon answers
+    with a rejection that carries a retry_after_ms hint."""
+    total_started = time.monotonic()
+    for _ in range(retries):
+        envelope, _ = rpc_line(path, line)
+        delay = retry_after_seconds(envelope)
+        if delay is None:
+            return envelope, time.monotonic() - total_started
+        time.sleep(delay)
+    envelope, _ = rpc_line(path, line)
+    return envelope, time.monotonic() - total_started
 
 
 def report_bytes(envelope):
@@ -148,7 +179,7 @@ def cmd_fanout(args):
     def worker(i):
         try:
             line = analyze_request(args, make_id(f"fan{i}"))
-            results[i], latencies[i] = rpc_line(args.socket, line)
+            results[i], latencies[i] = rpc_with_backoff(args.socket, line, args.retries)
         except Exception as e:  # collected, not raised: threads must all finish
             errors.append(f"client {i}: {e}")
 
@@ -216,6 +247,9 @@ def main():
     p.add_argument("--out-prefix", help="write the (identical) report to PREFIX.json")
     p.add_argument("--min-coalesced", type=int, default=None,
                    help="fail unless at least this many responses were coalesced")
+    p.add_argument("--retries", type=int, default=3,
+                   help="retries per client when the daemon rejects with a "
+                        "retry_after_ms hint (jittered backoff)")
 
     args = parser.parse_args()
     {"ping": cmd_ping, "metrics": cmd_metrics,

@@ -638,6 +638,12 @@ int cmd_serve(int argc, char** argv) {
                     {"--max-queue", true},
                     {"--cache-dir", true},
                     {"--access-journal", true},
+                    {"--request-timeout-s", true},
+                    {"--worker-memory-mb", true},
+                    {"--breaker-trips", true},
+                    {"--breaker-cooldown-s", true},
+                    {"--idle-timeout-s", true},
+                    {"--no-isolation", false},
                     {"--log-level", true}},
                    flags))
     return 1;
@@ -645,7 +651,10 @@ int cmd_serve(int argc, char** argv) {
   if (sock == flags.end()) {
     std::fprintf(stderr, "usage: terrors serve --socket PATH [--tcp PORT] [--threads T]\n"
                          "               [--memory-cache-mb N] [--max-queue N] [--cache-dir D]\n"
-                         "               [--access-journal FILE]\n");
+                         "               [--access-journal FILE] [--request-timeout-s S]\n"
+                         "               [--worker-memory-mb N] [--breaker-trips N]\n"
+                         "               [--breaker-cooldown-s S] [--idle-timeout-s S]\n"
+                         "               [--no-isolation]\n");
     return 1;
   }
   if (const auto it = flags.find("--log-level"); it != flags.end()) {
@@ -675,6 +684,19 @@ int cmd_serve(int argc, char** argv) {
   if (const auto it = flags.find("--cache-dir"); it != flags.end()) cfg.cache_dir = it->second;
   if (const auto it = flags.find("--access-journal"); it != flags.end()) {
     cfg.access_journal_path = it->second;
+  }
+  // Worker supervision (DESIGN §5j): isolation is on by default; the
+  // deadline and the memory budget are opt-in, the breaker is always
+  // armed but only sees infra failures.
+  cfg.isolation = flags.find("--no-isolation") == flags.end();
+  cfg.request_timeout_s = num_flag(flags, "--request-timeout-s", 0.0);
+  cfg.worker_memory_mb = static_cast<std::size_t>(uint_flag(flags, "--worker-memory-mb", 0));
+  cfg.breaker_trips = static_cast<int>(uint_flag(flags, "--breaker-trips", 3));
+  cfg.breaker_cooldown_s = num_flag(flags, "--breaker-cooldown-s", 30.0);
+  cfg.idle_timeout_s = num_flag(flags, "--idle-timeout-s", 0.0);
+  if (cfg.request_timeout_s < 0.0 || cfg.breaker_cooldown_s < 0.0 || cfg.idle_timeout_s < 0.0) {
+    robust::raise(robust::Category::kInput,
+                  "serve: timeout/cooldown values must be non-negative");
   }
 
   serve::Server server(pipe(), cfg);
